@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the simulation substrates.
+
+Not a paper figure: these time the two propagation engines and one full
+Perigee round, so regressions in the simulator itself (as opposed to the
+algorithms under study) are visible.  pytest-benchmark's statistics are the
+output here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import default_config
+from repro.core.eventsim import EventDrivenEngine
+from repro.core.simulator import Simulator
+from repro.protocols.registry import make_protocol
+
+
+@pytest.fixture(scope="module")
+def prepared_simulator():
+    config = default_config(num_nodes=300, rounds=5, blocks_per_round=50, seed=0)
+    return Simulator(config, make_protocol("perigee-subset"))
+
+
+def test_bench_analytic_propagation(benchmark, prepared_simulator):
+    simulator = prepared_simulator
+    sources = np.arange(50) % simulator.config.num_nodes
+
+    def propagate():
+        return simulator.engine.propagate(simulator.network, sources)
+
+    result = benchmark(propagate)
+    assert result.num_blocks == 50
+
+
+def test_bench_all_pairs_evaluation(benchmark, prepared_simulator):
+    simulator = prepared_simulator
+
+    def evaluate():
+        return simulator.evaluate()
+
+    reach = benchmark(evaluate)
+    assert reach.shape == (simulator.config.num_nodes,)
+
+
+def test_bench_event_driven_engine(benchmark, prepared_simulator):
+    simulator = prepared_simulator
+    engine = EventDrivenEngine(
+        simulator.latency_model, simulator.population.validation_delays
+    )
+
+    def propagate_one():
+        return engine.propagate_block(simulator.network, 0)
+
+    result = benchmark(propagate_one)
+    assert np.isfinite(result.arrival_times).all()
+
+
+def test_bench_full_perigee_round(benchmark):
+    config = default_config(num_nodes=200, rounds=3, blocks_per_round=40, seed=1)
+    simulator = Simulator(config, make_protocol("perigee-subset"))
+    counter = {"round": 0}
+
+    def one_round():
+        outcome = simulator.run_round(counter["round"])
+        counter["round"] += 1
+        return outcome
+
+    outcome = benchmark.pedantic(one_round, rounds=3, iterations=1)
+    assert len(outcome.blocks) == 40

@@ -1,0 +1,42 @@
+"""Figure 1: random vs geometric topology stretch in the unit square.
+
+The paper's Figure 1 shows 1000 points in the unit square and contrasts the
+meandering shortest path of a random topology with the near-geodesic path of a
+geometric graph.  The benchmark reproduces the comparison numerically: the
+corner-to-corner path stretch and the stretch distribution over random
+well-separated pairs for both topologies.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_banner
+from repro.theory.geometric_graph import figure1_comparison
+
+
+def run_figure1():
+    return figure1_comparison(num_nodes=1000, links_per_node=3, seed=0, num_pairs=300)
+
+
+def test_figure1_stretch(benchmark):
+    result = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+    print_banner("Figure 1 — random vs geometric topology on 1000 unit-square points")
+    print(f"corner-to-corner direct distance : {result.direct_distance:.3f}")
+    print(
+        "random topology path              : "
+        f"{result.random_path_length:.3f}  (stretch {result.random_stretch:.2f})"
+    )
+    print(
+        "geometric topology path           : "
+        f"{result.geometric_path_length:.3f}  (stretch {result.geometric_stretch:.2f})"
+    )
+    random_stats = result.random_stretch_stats
+    geometric_stats = result.geometric_stretch_stats
+    print(
+        "stretch over random pairs         : "
+        f"random median {random_stats.median:.2f} (p90 {random_stats.p90:.2f}), "
+        f"geometric median {geometric_stats.median:.2f} (p90 {geometric_stats.p90:.2f})"
+    )
+    # Paper shape: the geometric graph's paths stay close to the geodesic
+    # while the random topology's paths are substantially longer.
+    assert result.geometric_stretch < result.random_stretch
+    assert geometric_stats.median < random_stats.median

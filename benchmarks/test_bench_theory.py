@@ -1,0 +1,43 @@
+"""Theorems 1 and 2: stretch scaling of random vs geometric embedded graphs.
+
+Theorem 1 states that random connections over a random hypercube embedding
+give path latencies a polylogarithmic factor worse than the direct
+point-to-point latencies; Theorem 2 states that the threshold geometric graph
+keeps that factor constant.  The benchmark measures median stretch as the
+network grows and prints the two series side by side.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_banner
+from repro.theory.geometric_graph import geometric_stretch_experiment
+from repro.theory.random_graph import random_graph_stretch_experiment
+
+SIZES = [125, 250, 500, 1000, 2000]
+
+
+def run_both():
+    random_results = random_graph_stretch_experiment(SIZES, num_pairs=150, seed=0)
+    geometric_results = geometric_stretch_experiment(SIZES, num_pairs=150, seed=0)
+    return random_results, geometric_results
+
+
+def test_theorem_stretch_scaling(benchmark):
+    random_results, geometric_results = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    print_banner("Theorems 1 & 2 — stretch vs network size (d = 2)")
+    print(f"{'n':>6}  {'random median':>14}  {'random p90':>11}  "
+          f"{'geometric median':>17}  {'geometric p90':>14}")
+    for n in SIZES:
+        random_stats = random_results[n]
+        geometric_stats = geometric_results[n]
+        print(
+            f"{n:>6}  {random_stats.median:>14.2f}  {random_stats.p90:>11.2f}  "
+            f"{geometric_stats.median:>17.2f}  {geometric_stats.p90:>14.2f}"
+        )
+    # Shape: geometric stretch stays near 1 at every size; the random graph's
+    # stretch is several times larger throughout.
+    for n in SIZES:
+        assert geometric_results[n].median < 1.5
+        assert random_results[n].median > 1.5 * geometric_results[n].median

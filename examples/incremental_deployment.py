@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Scenario: incremental deployment and incentive compatibility.
+
+Two of the paper's qualitative claims (Section 1.2 and Section 6) concern how
+Perigee behaves when not everyone runs it:
+
+* *Incremental deployment* — peers that adopt Perigee see faster block
+  delivery even when the rest of the network still uses random connections.
+* *Incentive compatibility* — a node that free-rides (receives blocks but
+  never relays them) is disconnected by its Perigee neighbors and ends up
+  receiving blocks later than compliant nodes.
+
+This example measures both, using the library's incremental-deployment and
+security analyses.
+
+Run with::
+
+    python examples/incremental_deployment.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.incremental import run_incremental_deployment
+from repro.analysis.reporting import format_table
+from repro.security.freeride import run_free_riding_experiment
+
+
+def main() -> None:
+    print("Incremental deployment (fraction of nodes running Perigee-Subset)")
+    print()
+    results = run_incremental_deployment(
+        adoption_fractions=(0.25, 0.5, 0.75, 1.0),
+        num_nodes=200,
+        rounds=12,
+        blocks_per_round=40,
+        seed=0,
+    )
+    rows = []
+    for result in results:
+        non_adopter = (
+            f"{result.non_adopter_delay_ms:.1f}"
+            if result.adoption_fraction < 1.0
+            else "n/a"
+        )
+        rows.append(
+            (
+                f"{result.adoption_fraction * 100:.0f}%",
+                f"{result.adopter_delay_ms:.1f}",
+                non_adopter,
+                f"{result.adopter_improvement * 100:+.1f}%",
+            )
+        )
+    print(
+        format_table(
+            (
+                "adoption",
+                "adopter median delay (ms)",
+                "non-adopter median delay (ms)",
+                "adopter gain vs all-random",
+            ),
+            rows,
+        )
+    )
+    print()
+    print(
+        "Adopters benefit at every adoption level — there is no need for a "
+        "coordinated flag day, matching the paper's incremental-deployment claim."
+    )
+
+    print()
+    print("Free-riding penalty (nodes that never relay blocks)")
+    print()
+    outcomes = run_free_riding_experiment(
+        num_nodes=150, num_free_riders=10, rounds=12, blocks_per_round=40, seed=1
+    )
+    rows = [
+        (
+            name,
+            f"{outcome.compliant_receive_ms:.1f}",
+            f"{outcome.free_rider_receive_ms:.1f}",
+            f"{outcome.penalty * 100:+.1f}%",
+        )
+        for name, outcome in outcomes.items()
+    ]
+    print(
+        format_table(
+            (
+                "topology protocol",
+                "compliant node receive delay (ms)",
+                "free-rider receive delay (ms)",
+                "free-rider penalty",
+            ),
+            rows,
+        )
+    )
+    print()
+    print(
+        "Under the static random topology free-riding is almost free; under "
+        "Perigee the deviant node's neighbors disconnect from it and its own "
+        "delivery delay degrades — the incentive mechanism the paper describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Scenario: concentrated mining pools with a fast backbone (Figure 4(b)).
+
+Real blockchain networks have a small number of mining pools contributing most
+of the hash power, often interconnected by well-provisioned links.  This
+example builds that environment — 10% of the nodes hold 90% of the hash power
+and enjoy 10x faster links among themselves — and shows that:
+
+* the random and geographic baselines barely benefit, because they connect
+  obliviously to the pool structure, while
+* Perigee-Subset learns to sit close (in delay) to the pool without ever being
+  told who the miners are.
+
+Run with::
+
+    python examples/mining_pools.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.config import default_config
+from repro.core.simulator import Simulator
+from repro.datasets.bitnodes import generate_population
+from repro.latency.geo import GeographicLatencyModel
+from repro.latency.relay import apply_miner_speedup
+from repro.metrics.delay import delay_curve
+from repro.protocols.registry import make_protocol
+
+
+def main() -> None:
+    config = default_config(
+        num_nodes=250,
+        rounds=20,
+        blocks_per_round=50,
+        seed=11,
+        hash_power_distribution="concentrated",
+    )
+    rng = np.random.default_rng(config.seed)
+    population = generate_population(config, rng)
+    base_latency = GeographicLatencyModel(population.nodes, rng)
+    latency = apply_miner_speedup(
+        base_latency, population.high_power_miners, speedup=0.1
+    )
+
+    print("Concentrated mining pools (Figure 4(b) scenario)")
+    print(
+        f"  {len(population.high_power_miners)} of {config.num_nodes} nodes "
+        "hold 90% of the hash power; links among them are 10x faster."
+    )
+    print()
+
+    rows = []
+    curves = {}
+    for name in ("random", "geographic", "perigee-subset", "ideal"):
+        simulator = Simulator(
+            config,
+            make_protocol(name),
+            population=population,
+            latency=latency,
+            rng=np.random.default_rng(config.seed + 1),
+        )
+        if simulator.protocol.is_adaptive:
+            print(f"  running {config.rounds} rounds for {name!r} ...")
+            simulator.run(rounds=config.rounds)
+        reach = simulator.evaluate()
+        curves[name] = delay_curve(reach, name, config.hash_power_target)
+
+    ideal_median = curves["ideal"].median_ms
+    for name, curve in curves.items():
+        gap = curve.median_ms - ideal_median
+        rows.append((name, f"{curve.median_ms:.1f}", f"{gap:.1f}"))
+    print()
+    print(
+        format_table(
+            ("protocol", "median delay to 90% hash power (ms)", "gap to ideal (ms)"),
+            rows,
+        )
+    )
+    print()
+    random_gap = curves["random"].median_ms - ideal_median
+    perigee_gap = curves["perigee-subset"].median_ms - ideal_median
+    closed = (1.0 - perigee_gap / random_gap) * 100.0 if random_gap > 0 else 0.0
+    print(
+        f"Perigee-Subset closes {closed:.0f}% of the random topology's gap to the "
+        "fully-connected ideal, without knowing which nodes are miners."
+    )
+
+
+if __name__ == "__main__":
+    main()

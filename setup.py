@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+only so the package can be installed in environments whose setuptools is too
+old to build editable wheels (legacy ``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""Experiment harness: one entry point per table/figure of the paper.
+
+* :mod:`repro.analysis.experiments` — experiment runners (Figures 3a, 3b,
+  4a, 4b, 4c, 5 plus the Figure 1 / theorem validations re-exported from
+  :mod:`repro.theory`).
+* :mod:`repro.analysis.figures` — turns experiment outputs into the series /
+  rows the paper plots.
+* :mod:`repro.analysis.reporting` — plain-text table rendering used by the
+  CLI and the benchmark harness.
+"""
+
+from repro.analysis.experiments import (
+    ExperimentResult,
+    ProcessingDelaySweepResult,
+    compare_protocols,
+    run_experiment,
+    run_figure3a,
+    run_figure3b,
+    run_figure4a,
+    run_figure4b,
+    run_figure4c,
+    run_figure5,
+)
+from repro.analysis.figures import (
+    delay_curve_series,
+    figure5_rows,
+    improvement_table,
+)
+from repro.analysis.incremental import (
+    IncrementalDeploymentResult,
+    MixedDeploymentProtocol,
+    run_incremental_deployment,
+)
+from repro.analysis.reporting import format_table, render_experiment_report
+
+__all__ = [
+    "ExperimentResult",
+    "IncrementalDeploymentResult",
+    "MixedDeploymentProtocol",
+    "ProcessingDelaySweepResult",
+    "compare_protocols",
+    "run_incremental_deployment",
+    "delay_curve_series",
+    "figure5_rows",
+    "format_table",
+    "improvement_table",
+    "render_experiment_report",
+    "run_experiment",
+    "run_figure3a",
+    "run_figure3b",
+    "run_figure4a",
+    "run_figure4b",
+    "run_figure4c",
+    "run_figure5",
+]

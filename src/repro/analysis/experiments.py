@@ -1,0 +1,466 @@
+"""Experiment runners, one per figure of the paper's evaluation (Section 5).
+
+Every runner follows the paper's methodology:
+
+* a node population and link latencies are sampled (the paper repeats each
+  experiment three times with independently sampled latencies and plots the
+  mean; the ``repeats`` parameter controls this),
+* every protocol under comparison runs on the *same* population and latency
+  draw within a repeat, so differences are attributable to the protocol,
+* adaptive protocols run for the configured number of rounds before the final
+  topology is evaluated; static protocols are evaluated directly,
+* the reported metric is, for every node, the time for a block mined by that
+  node to reach 90% (and 50%) of the network hash power, sorted ascending —
+  the y-values of Figures 3 and 4.
+
+The default experiment sizes are scaled down from the paper's 1000 nodes so
+the benchmark suite completes in minutes on a laptop; pass ``num_nodes=1000``
+(and more rounds) to reproduce at full scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import SimulationConfig, default_config
+from repro.core.simulator import Simulator
+from repro.datasets.bitnodes import NodePopulation, generate_population
+from repro.latency.base import LatencyModel
+from repro.latency.geo import GeographicLatencyModel
+from repro.latency.relay import (
+    RelayNetworkOverlay,
+    apply_miner_speedup,
+    apply_relay_overlay,
+    build_relay_tree,
+)
+from repro.metrics.delay import DelayCurve, delay_curve, improvement_over_baseline
+from repro.metrics.topology import EdgeLatencyHistogram, edge_latency_histogram
+from repro.protocols.registry import make_protocol
+
+#: The protocol line-up of Figure 3.
+FIGURE3_PROTOCOLS = (
+    "random",
+    "geographic",
+    "kademlia",
+    "perigee-vanilla",
+    "perigee-ucb",
+    "perigee-subset",
+    "ideal",
+)
+
+#: The protocol line-up whose edge-latency histograms Figure 5 shows.
+FIGURE5_PROTOCOLS = ("random", "geographic", "geometric", "perigee-subset")
+
+#: Validation-delay multipliers swept in Figure 4(a).
+FIGURE4A_SCALES = (0.1, 0.5, 1.0, 5.0, 10.0)
+
+
+@dataclass
+class ExperimentResult:
+    """Per-protocol delay curves for one experiment.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier (e.g. ``"figure3a"``).
+    config:
+        The configuration shared by every protocol run.
+    curves:
+        Protocol name -> mean :class:`DelayCurve` across repeats (delays to the
+        90% hash power target unless the experiment says otherwise).
+    curves_50:
+        Same, for the 50% hash power target.
+    histograms:
+        Optional edge-latency histograms (only populated by Figure 5).
+    """
+
+    name: str
+    config: SimulationConfig
+    curves: dict[str, DelayCurve] = field(default_factory=dict)
+    curves_50: dict[str, DelayCurve] = field(default_factory=dict)
+    histograms: dict[str, EdgeLatencyHistogram] = field(default_factory=dict)
+
+    def improvement(
+        self, candidate: str, baseline: str = "random", statistic: str = "median"
+    ) -> float:
+        """Relative improvement of ``candidate`` over ``baseline``."""
+        return improvement_over_baseline(
+            self.curves[candidate], self.curves[baseline], statistic
+        )
+
+    def protocol_names(self) -> list[str]:
+        return list(self.curves)
+
+
+@dataclass
+class ProcessingDelaySweepResult:
+    """Figure 4(a): one :class:`ExperimentResult` per validation-delay scale."""
+
+    scales: tuple[float, ...]
+    results: dict[float, ExperimentResult]
+
+    def improvements(
+        self, candidate: str = "perigee-subset", baseline: str = "random"
+    ) -> dict[float, float]:
+        """Per-scale improvement of ``candidate`` over ``baseline``."""
+        return {
+            scale: self.results[scale].improvement(candidate, baseline)
+            for scale in self.scales
+        }
+
+
+def _mean_curve(curves: list[DelayCurve], protocol: str, target: float) -> DelayCurve:
+    """Average sorted per-node curves across repeats (element-wise)."""
+    stacked = np.vstack([curve.sorted_delays_ms for curve in curves])
+    return DelayCurve(
+        protocol=protocol,
+        sorted_delays_ms=stacked.mean(axis=0),
+        target_fraction=target,
+    )
+
+
+def _run_single_protocol(
+    protocol_name: str,
+    config: SimulationConfig,
+    population: NodePopulation,
+    latency: LatencyModel,
+    seed: int,
+    rounds: int,
+    protocol_kwargs: dict | None = None,
+) -> tuple[np.ndarray, np.ndarray, Simulator]:
+    """Run one protocol and return (reach90, reach50, simulator)."""
+    protocol = make_protocol(protocol_name, **(protocol_kwargs or {}))
+    rng = np.random.default_rng(seed)
+    simulator = Simulator(
+        config=config,
+        protocol=protocol,
+        population=population,
+        latency=latency,
+        rng=rng,
+    )
+    if protocol.is_adaptive:
+        simulator.run(rounds=rounds)
+    arrival = simulator.engine.all_sources_arrival_times(simulator.network)
+    from repro.metrics.delay import hash_power_reach_times
+
+    reach90 = hash_power_reach_times(
+        arrival, population.hash_power, config.hash_power_target
+    )
+    reach50 = hash_power_reach_times(arrival, population.hash_power, 0.5)
+    return reach90, reach50, simulator
+
+
+def compare_protocols(
+    config: SimulationConfig,
+    protocol_names: tuple[str, ...] | list[str],
+    repeats: int = 1,
+    rounds: int | None = None,
+    latency_builder=None,
+    population_builder=None,
+    collect_histograms: bool = False,
+    experiment_name: str = "custom",
+) -> ExperimentResult:
+    """Run several protocols on shared populations and return their curves.
+
+    Parameters
+    ----------
+    config:
+        The shared simulation configuration.
+    protocol_names:
+        Registry names of the protocols to compare.
+    repeats:
+        Number of independent population/latency draws (the paper uses 3).
+    rounds:
+        Rounds to run adaptive protocols for (defaults to ``config.rounds``).
+    latency_builder:
+        Optional callable ``(population, rng) -> LatencyModel`` overriding the
+        default geographic model (used by the relay-network experiments).
+    population_builder:
+        Optional callable ``(config, rng) -> NodePopulation`` overriding the
+        default population generator.
+    collect_histograms:
+        Also compute the Figure 5 edge-latency histogram of each final
+        topology.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    rounds = config.rounds if rounds is None else rounds
+    per_protocol_90: dict[str, list[DelayCurve]] = {name: [] for name in protocol_names}
+    per_protocol_50: dict[str, list[DelayCurve]] = {name: [] for name in protocol_names}
+    histograms: dict[str, EdgeLatencyHistogram] = {}
+    for repeat in range(repeats):
+        seed = config.seed + 1000 * repeat
+        rng = np.random.default_rng(seed)
+        if population_builder is not None:
+            population = population_builder(config, rng)
+        else:
+            population = generate_population(config, rng)
+        if latency_builder is not None:
+            latency = latency_builder(population, rng)
+        else:
+            latency = GeographicLatencyModel(population.nodes, rng)
+        for name in protocol_names:
+            reach90, reach50, simulator = _run_single_protocol(
+                protocol_name=name,
+                config=config,
+                population=population,
+                latency=latency,
+                seed=seed + hash(name) % 1000,
+                rounds=rounds,
+            )
+            per_protocol_90[name].append(
+                delay_curve(reach90, name, config.hash_power_target)
+            )
+            per_protocol_50[name].append(delay_curve(reach50, name, 0.5))
+            if collect_histograms and repeat == 0:
+                histograms[name] = edge_latency_histogram(
+                    simulator.network, latency, name
+                )
+    result = ExperimentResult(name=experiment_name, config=config)
+    for name in protocol_names:
+        result.curves[name] = _mean_curve(
+            per_protocol_90[name], name, config.hash_power_target
+        )
+        result.curves_50[name] = _mean_curve(per_protocol_50[name], name, 0.5)
+    result.histograms = histograms
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Figure 3: default setting and exponential hash power
+# --------------------------------------------------------------------------- #
+def run_figure3a(
+    num_nodes: int = 300,
+    rounds: int = 25,
+    repeats: int = 1,
+    seed: int = 0,
+    blocks_per_round: int = 60,
+    protocols: tuple[str, ...] = FIGURE3_PROTOCOLS,
+) -> ExperimentResult:
+    """Figure 3(a): uniform hash power, default delays."""
+    config = default_config(
+        num_nodes=num_nodes,
+        rounds=rounds,
+        seed=seed,
+        blocks_per_round=blocks_per_round,
+        hash_power_distribution="uniform",
+    )
+    return compare_protocols(
+        config, protocols, repeats=repeats, experiment_name="figure3a"
+    )
+
+
+def run_figure3b(
+    num_nodes: int = 300,
+    rounds: int = 25,
+    repeats: int = 1,
+    seed: int = 0,
+    blocks_per_round: int = 60,
+    protocols: tuple[str, ...] = FIGURE3_PROTOCOLS,
+) -> ExperimentResult:
+    """Figure 3(b): hash power drawn from an exponential distribution."""
+    config = default_config(
+        num_nodes=num_nodes,
+        rounds=rounds,
+        seed=seed,
+        blocks_per_round=blocks_per_round,
+        hash_power_distribution="exponential",
+    )
+    return compare_protocols(
+        config, protocols, repeats=repeats, experiment_name="figure3b"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 4(a): processing-delay sweep
+# --------------------------------------------------------------------------- #
+def run_figure4a(
+    num_nodes: int = 300,
+    rounds: int = 25,
+    repeats: int = 1,
+    seed: int = 0,
+    blocks_per_round: int = 60,
+    scales: tuple[float, ...] = FIGURE4A_SCALES,
+    protocols: tuple[str, ...] = ("random", "perigee-subset"),
+) -> ProcessingDelaySweepResult:
+    """Figure 4(a): sweep the block validation delay from 0.1x to 10x."""
+    results: dict[float, ExperimentResult] = {}
+    for scale in scales:
+        config = default_config(
+            num_nodes=num_nodes,
+            rounds=rounds,
+            seed=seed,
+            blocks_per_round=blocks_per_round,
+            validation_delay_ms=50.0 * scale,
+            hash_power_distribution="uniform",
+        )
+        results[scale] = compare_protocols(
+            config,
+            protocols,
+            repeats=repeats,
+            experiment_name=f"figure4a-scale-{scale:g}x",
+        )
+    return ProcessingDelaySweepResult(scales=tuple(scales), results=results)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 4(b): concentrated mining pools with fast interconnects
+# --------------------------------------------------------------------------- #
+def run_figure4b(
+    num_nodes: int = 300,
+    rounds: int = 25,
+    repeats: int = 1,
+    seed: int = 0,
+    blocks_per_round: int = 60,
+    miner_speedup: float = 0.1,
+    protocols: tuple[str, ...] = (
+        "random",
+        "geographic",
+        "perigee-subset",
+        "ideal",
+    ),
+) -> ExperimentResult:
+    """Figure 4(b): 10% of nodes hold 90% of hash power, with fast links among them."""
+    config = default_config(
+        num_nodes=num_nodes,
+        rounds=rounds,
+        seed=seed,
+        blocks_per_round=blocks_per_round,
+        hash_power_distribution="concentrated",
+    )
+
+    def latency_builder(population: NodePopulation, rng: np.random.Generator):
+        base = GeographicLatencyModel(population.nodes, rng)
+        return apply_miner_speedup(
+            base, population.high_power_miners, speedup=miner_speedup
+        )
+
+    return compare_protocols(
+        config,
+        protocols,
+        repeats=repeats,
+        latency_builder=latency_builder,
+        experiment_name="figure4b",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 4(c): fast block-distribution (relay) network
+# --------------------------------------------------------------------------- #
+def run_figure4c(
+    num_nodes: int = 300,
+    rounds: int = 25,
+    repeats: int = 1,
+    seed: int = 0,
+    blocks_per_round: int = 60,
+    relay_size: int = 100,
+    relay_link_ms: float = 5.0,
+    relay_validation_scale: float = 0.1,
+    protocols: tuple[str, ...] = (
+        "random",
+        "geographic",
+        "perigee-subset",
+        "ideal",
+    ),
+) -> ExperimentResult:
+    """Figure 4(c): a bloXroute-like low-latency relay tree of 100 nodes."""
+    relay_size = min(relay_size, max(2, num_nodes // 3))
+    config = default_config(
+        num_nodes=num_nodes,
+        rounds=rounds,
+        seed=seed,
+        blocks_per_round=blocks_per_round,
+        hash_power_distribution="uniform",
+    )
+
+    def population_builder(cfg: SimulationConfig, rng: np.random.Generator):
+        population = generate_population(cfg, rng)
+        overlay = build_relay_tree(
+            cfg.num_nodes, rng, size=relay_size, link_latency_ms=relay_link_ms
+        )
+        return population.with_relay_members(
+            overlay.members, validation_scale=relay_validation_scale
+        )
+
+    def latency_builder(population: NodePopulation, rng: np.random.Generator):
+        base = GeographicLatencyModel(population.nodes, rng)
+        # The relay tree is rebuilt deterministically over the members the
+        # population builder flagged (a 3-ary tree in member order), so the
+        # fast links connect exactly the nodes whose validation delay was
+        # reduced.
+        members = tuple(
+            node.node_id for node in population.nodes if node.is_relay
+        )
+        overlay = RelayNetworkOverlay(
+            members=members,
+            tree_parent=tuple(
+                -1 if index == 0 else members[(index - 1) // 3]
+                for index in range(len(members))
+            ),
+            link_latency_ms=relay_link_ms,
+        )
+        return apply_relay_overlay(
+            base, overlay, member_pair_latency_ms=relay_link_ms * 4
+        )
+
+    return compare_protocols(
+        config,
+        protocols,
+        repeats=repeats,
+        latency_builder=latency_builder,
+        population_builder=population_builder,
+        experiment_name="figure4c",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 5: edge-latency histograms of the learned topologies
+# --------------------------------------------------------------------------- #
+def run_figure5(
+    num_nodes: int = 300,
+    rounds: int = 25,
+    seed: int = 0,
+    blocks_per_round: int = 60,
+    protocols: tuple[str, ...] = FIGURE5_PROTOCOLS,
+) -> ExperimentResult:
+    """Figure 5: histograms of overlay edge latencies under uniform hash power."""
+    config = default_config(
+        num_nodes=num_nodes,
+        rounds=rounds,
+        seed=seed,
+        blocks_per_round=blocks_per_round,
+        hash_power_distribution="uniform",
+    )
+    return compare_protocols(
+        config,
+        protocols,
+        repeats=1,
+        collect_histograms=True,
+        experiment_name="figure5",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Generic dispatcher used by the CLI
+# --------------------------------------------------------------------------- #
+EXPERIMENTS = {
+    "figure3a": run_figure3a,
+    "figure3b": run_figure3b,
+    "figure4a": run_figure4a,
+    "figure4b": run_figure4b,
+    "figure4c": run_figure4c,
+    "figure5": run_figure5,
+}
+
+
+def run_experiment(name: str, **kwargs):
+    """Run a named experiment (``figure3a`` ... ``figure5``)."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError as error:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
+        ) from error
+    return runner(**kwargs)

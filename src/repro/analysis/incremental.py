@@ -1,0 +1,252 @@
+"""Incremental deployment: what happens when only some nodes run Perigee.
+
+Section 1.2 of the paper lists incremental deployability among Perigee's
+advantages: "peers following Perigee would see improvements in how quickly
+they can send or receive blocks, compared to those that do not follow
+Perigee."  This module makes that claim measurable:
+
+* :class:`MixedDeploymentProtocol` wraps any Perigee variant and applies its
+  per-round neighbor update only to a designated set of *adopter* nodes; every
+  other node keeps the random topology it started with (Bitcoin's default
+  behaviour).
+* :func:`run_incremental_deployment` sweeps the adoption fraction and reports
+  the delay experienced by adopters and non-adopters separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SimulationConfig, default_config
+from repro.core.network import P2PNetwork
+from repro.core.observations import ObservationSet
+from repro.core.simulator import Simulator
+from repro.datasets.bitnodes import generate_population
+from repro.latency.geo import GeographicLatencyModel
+from repro.metrics.delay import hash_power_reach_times
+from repro.protocols.base import ProtocolContext
+from repro.protocols.perigee.base import PerigeeBase
+from repro.protocols.perigee.subset import PerigeeSubsetProtocol
+
+
+class MixedDeploymentProtocol(PerigeeBase):
+    """Apply a Perigee variant's updates only to a subset of adopter nodes.
+
+    Non-adopters never rewire: they behave exactly like random-topology
+    Bitcoin nodes.  Adopters run the wrapped variant's scoring and retention
+    rule (Algorithm 1) every round.
+
+    Parameters
+    ----------
+    adopters:
+        Node ids that follow Perigee.
+    inner:
+        The Perigee variant adopters run (defaults to Perigee-Subset).
+    """
+
+    name = "perigee-mixed"
+
+    def __init__(
+        self,
+        adopters: set[int] | frozenset[int],
+        inner: PerigeeBase | None = None,
+    ) -> None:
+        inner = inner if inner is not None else PerigeeSubsetProtocol()
+        super().__init__(
+            exploration_peers=inner._exploration_peers,
+            percentile=inner.percentile,
+        )
+        self._adopters = frozenset(int(node) for node in adopters)
+        self._inner = inner
+
+    @property
+    def adopters(self) -> frozenset[int]:
+        return self._adopters
+
+    @property
+    def inner(self) -> PerigeeBase:
+        return self._inner
+
+    def reset(self) -> None:
+        self._inner.reset()
+
+    def update(
+        self,
+        context: ProtocolContext,
+        network: P2PNetwork,
+        observations: dict[int, ObservationSet],
+        rng: np.random.Generator,
+    ) -> None:
+        exploration = self._inner.exploration_budget(context)
+        order = rng.permutation(network.num_nodes)
+        for raw_id in order:
+            node_id = int(raw_id)
+            if node_id not in self._adopters:
+                continue
+            outgoing = network.outgoing_neighbors(node_id)
+            if not outgoing:
+                network.fill_random_outgoing(node_id, rng)
+                continue
+            node_observations = observations.get(
+                node_id, ObservationSet(node_id=node_id)
+            )
+            normalized = node_observations.normalized()
+            retain_budget = max(0, network.out_degree - exploration)
+            retained = self._inner.select_retained(
+                node_id=node_id,
+                outgoing=set(outgoing),
+                observations=normalized,
+                retain_budget=retain_budget,
+                rng=rng,
+            )
+            retained = {peer for peer in retained if peer in outgoing}
+            self._inner.on_neighbors_dropped(node_id, set(outgoing) - retained)
+            network.replace_outgoing(
+                node_id,
+                retained,
+                rng,
+                num_random=network.out_degree - len(retained),
+            )
+
+    def select_retained(
+        self,
+        node_id: int,
+        outgoing: set[int],
+        observations: ObservationSet,
+        retain_budget: int,
+        rng: np.random.Generator,
+    ) -> set[int]:
+        """Delegate to the wrapped variant (used if callers bypass ``update``)."""
+        return self._inner.select_retained(
+            node_id=node_id,
+            outgoing=outgoing,
+            observations=observations,
+            retain_budget=retain_budget,
+            rng=rng,
+        )
+
+    def describe(self) -> dict[str, object]:
+        info = super().describe()
+        info["adopters"] = len(self._adopters)
+        info["inner"] = self._inner.name
+        return info
+
+
+@dataclass(frozen=True)
+class IncrementalDeploymentResult:
+    """Delays seen by adopters and non-adopters at one adoption level.
+
+    All delays are medians of the per-source time to reach the configured
+    hash power target, in milliseconds.
+    """
+
+    adoption_fraction: float
+    adopter_delay_ms: float
+    non_adopter_delay_ms: float
+    overall_delay_ms: float
+    baseline_delay_ms: float
+
+    @property
+    def adopter_improvement(self) -> float:
+        """Relative improvement adopters see over the all-random baseline."""
+        return 1.0 - self.adopter_delay_ms / self.baseline_delay_ms
+
+    @property
+    def non_adopter_improvement(self) -> float:
+        """Relative improvement non-adopters see over the all-random baseline."""
+        return 1.0 - self.non_adopter_delay_ms / self.baseline_delay_ms
+
+
+def _median(values: np.ndarray) -> float:
+    finite = values[np.isfinite(values)]
+    return float(np.median(finite)) if finite.size else float("inf")
+
+
+def run_incremental_deployment(
+    adoption_fractions: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0),
+    num_nodes: int = 200,
+    rounds: int = 15,
+    blocks_per_round: int = 40,
+    seed: int = 0,
+    config: SimulationConfig | None = None,
+) -> list[IncrementalDeploymentResult]:
+    """Sweep the fraction of nodes running Perigee.
+
+    Every adoption level runs on the same population and latency draw, and is
+    compared against the all-random baseline (adoption 0).  Returns one
+    :class:`IncrementalDeploymentResult` per requested fraction.
+    """
+    if not adoption_fractions:
+        raise ValueError("adoption_fractions must be non-empty")
+    for fraction in adoption_fractions:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("adoption fractions must be in (0, 1]")
+    if config is None:
+        config = default_config(
+            num_nodes=num_nodes,
+            rounds=rounds,
+            blocks_per_round=blocks_per_round,
+            seed=seed,
+        )
+    rng = np.random.default_rng(config.seed)
+    population = generate_population(config, rng)
+    latency = GeographicLatencyModel(population.nodes, rng)
+
+    def reach_times(simulator: Simulator) -> np.ndarray:
+        arrival = simulator.engine.all_sources_arrival_times(simulator.network)
+        return hash_power_reach_times(
+            arrival, population.hash_power, config.hash_power_target
+        )
+
+    # All-random baseline: nobody adopts.
+    from repro.protocols.random_policy import RandomProtocol
+
+    baseline_simulator = Simulator(
+        config,
+        RandomProtocol(),
+        population=population,
+        latency=latency,
+        rng=np.random.default_rng(config.seed + 1),
+    )
+    baseline_delay = _median(reach_times(baseline_simulator))
+
+    results = []
+    for fraction in adoption_fractions:
+        adopter_count = max(1, int(round(config.num_nodes * fraction)))
+        adopters = set(
+            int(node)
+            for node in np.random.default_rng(config.seed + 2).choice(
+                config.num_nodes, size=adopter_count, replace=False
+            )
+        )
+        protocol = MixedDeploymentProtocol(adopters)
+        simulator = Simulator(
+            config,
+            protocol,
+            population=population,
+            latency=latency,
+            rng=np.random.default_rng(config.seed + 3),
+        )
+        simulator.run(rounds=config.rounds)
+        reach = reach_times(simulator)
+        adopter_ids = np.array(sorted(adopters), dtype=int)
+        non_adopter_ids = np.array(
+            [node for node in range(config.num_nodes) if node not in adopters],
+            dtype=int,
+        )
+        results.append(
+            IncrementalDeploymentResult(
+                adoption_fraction=fraction,
+                adopter_delay_ms=_median(reach[adopter_ids]),
+                non_adopter_delay_ms=(
+                    _median(reach[non_adopter_ids])
+                    if non_adopter_ids.size
+                    else float("nan")
+                ),
+                overall_delay_ms=_median(reach),
+                baseline_delay_ms=baseline_delay,
+            )
+        )
+    return results

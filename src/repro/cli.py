@@ -1,0 +1,98 @@
+"""Command line interface.
+
+``perigee-sim`` runs any of the paper's experiments from the shell and prints
+the same tables EXPERIMENTS.md records::
+
+    perigee-sim figure3a --num-nodes 300 --rounds 12
+    perigee-sim figure4a --num-nodes 200
+    perigee-sim figure5
+    perigee-sim list
+
+The CLI intentionally exposes only the experiment-level knobs (size, rounds,
+repeats, seed); anything finer grained is available through the Python API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    ProcessingDelaySweepResult,
+    run_experiment,
+)
+from repro.analysis.reporting import render_experiment_report, render_sweep_report
+from repro.version import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="perigee-sim",
+        description=(
+            "Reproduction of 'Perigee: Efficient Peer-to-Peer Network Design "
+            "for Blockchains' (PODC 2020)."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    list_parser = subparsers.add_parser("list", help="list available experiments")
+    list_parser.set_defaults(command="list")
+
+    for name in EXPERIMENTS:
+        experiment_parser = subparsers.add_parser(
+            name, help=f"run the {name} experiment"
+        )
+        experiment_parser.add_argument(
+            "--num-nodes", type=int, default=300, help="number of nodes"
+        )
+        experiment_parser.add_argument(
+            "--rounds", type=int, default=12, help="protocol rounds"
+        )
+        experiment_parser.add_argument(
+            "--seed", type=int, default=0, help="random seed"
+        )
+        if name != "figure5":
+            experiment_parser.add_argument(
+                "--repeats",
+                type=int,
+                default=1,
+                help="independent latency draws to average over",
+            )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 1
+    if args.command == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    kwargs = {
+        "num_nodes": args.num_nodes,
+        "rounds": args.rounds,
+        "seed": args.seed,
+    }
+    if getattr(args, "repeats", None) is not None:
+        kwargs["repeats"] = args.repeats
+    result = run_experiment(args.command, **kwargs)
+    if isinstance(result, ProcessingDelaySweepResult):
+        print("Figure 4(a) validation-delay sweep")
+        print(render_sweep_report(result))
+    else:
+        print(render_experiment_report(result))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

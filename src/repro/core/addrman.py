@@ -1,0 +1,176 @@
+"""Address manager: limited peer knowledge with gossip-based discovery.
+
+The system model of Section 2.1 notes that real Bitcoin nodes do not know the
+whole network: each node keeps a local database of peer addresses (addrMan),
+seeded by a bootstrapping server and refreshed by exchanging addresses with
+neighbors.  The paper's simulations assume global knowledge for simplicity
+and list "limited peer addresses known at each node (that are dynamically
+updated as part of a peer-discovery protocol)" as an open analysis direction
+(Section 6).
+
+This module provides that substrate.  Each node holds a bounded set of known
+addresses; every round it learns the addresses of its neighbors' neighbors
+(one gossip hop, like Bitcoin's ``addr`` messages) and evicts random entries
+when over capacity.  Exploration then samples candidates from a node's own
+address book instead of the global node list, which is what the churn
+experiments (:mod:`repro.analysis.churn`) use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.network import P2PNetwork
+
+#: Default capacity of each node's address book.  Real Bitcoin keeps tens of
+#: thousands of addresses; relative to a thousand-node simulation a bound of a
+#: small multiple of the out-degree models the "limited knowledge" regime.
+DEFAULT_CAPACITY = 64
+
+
+class AddressManager:
+    """Per-node bounded address books with one-hop gossip refresh.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes in the overlay.
+    capacity:
+        Maximum number of addresses a node retains.
+    rng:
+        Generator used for the initial bootstrap sample and for evictions.
+    bootstrap_size:
+        Number of addresses handed to each node by the bootstrapping server
+        initially (defaults to ``capacity // 2``).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        capacity: int = DEFAULT_CAPACITY,
+        rng: np.random.Generator | None = None,
+        bootstrap_size: int | None = None,
+    ) -> None:
+        if num_nodes < 2:
+            raise ValueError("num_nodes must be at least 2")
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if rng is None:
+            rng = np.random.default_rng(0)
+        if bootstrap_size is None:
+            bootstrap_size = max(1, capacity // 2)
+        if bootstrap_size < 1:
+            raise ValueError("bootstrap_size must be positive")
+        bootstrap_size = min(bootstrap_size, capacity, num_nodes - 1)
+        self._num_nodes = num_nodes
+        self._capacity = capacity
+        self._books: list[set[int]] = []
+        for node_id in range(num_nodes):
+            candidates = [peer for peer in range(num_nodes) if peer != node_id]
+            sample = rng.choice(
+                candidates, size=min(bootstrap_size, len(candidates)), replace=False
+            )
+            self._books.append({int(peer) for peer in sample})
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def known_addresses(self, node_id: int) -> frozenset[int]:
+        """Addresses currently known to ``node_id``."""
+        self._check_node(node_id)
+        return frozenset(self._books[node_id])
+
+    def knows(self, node_id: int, peer: int) -> bool:
+        """Whether ``node_id`` has ``peer`` in its address book."""
+        self._check_node(node_id)
+        self._check_node(peer)
+        return peer in self._books[node_id]
+
+    def add_address(self, node_id: int, peer: int, rng: np.random.Generator) -> None:
+        """Insert one address, evicting a random entry if over capacity."""
+        self._check_node(node_id)
+        self._check_node(peer)
+        if peer == node_id:
+            return
+        book = self._books[node_id]
+        book.add(peer)
+        while len(book) > self._capacity:
+            victim = int(rng.choice(sorted(book)))
+            book.discard(victim)
+
+    def remove_address(self, node_id: int, peer: int) -> None:
+        """Forget an address (e.g. a peer observed to be offline)."""
+        self._check_node(node_id)
+        self._books[node_id].discard(peer)
+
+    def remove_everywhere(self, peer: int) -> None:
+        """Forget ``peer`` from every address book (it left the network)."""
+        self._check_node(peer)
+        for book in self._books:
+            book.discard(peer)
+
+    def gossip_round(
+        self,
+        network: P2PNetwork,
+        rng: np.random.Generator,
+        addresses_per_neighbor: int = 4,
+    ) -> None:
+        """One round of ``addr`` gossip: learn a few of each neighbor's addresses.
+
+        Every node asks each of its communication neighbors for a small random
+        sample of that neighbor's address book (plus the neighbor's own
+        address), mirroring how Bitcoin nodes trickle ``addr`` messages.
+        """
+        if addresses_per_neighbor < 1:
+            raise ValueError("addresses_per_neighbor must be positive")
+        if network.num_nodes != self._num_nodes:
+            raise ValueError("network size must match the address manager")
+        # Snapshot the books first so gossip within a round is order-independent.
+        snapshot = [frozenset(book) for book in self._books]
+        for node_id in range(self._num_nodes):
+            for neighbor in network.neighbors(node_id):
+                self.add_address(node_id, neighbor, rng)
+                known = sorted(snapshot[neighbor])
+                if not known:
+                    continue
+                count = min(addresses_per_neighbor, len(known))
+                sample = rng.choice(known, size=count, replace=False)
+                for peer in sample:
+                    if int(peer) != node_id:
+                        self.add_address(node_id, int(peer), rng)
+
+    def sample_candidates(
+        self,
+        node_id: int,
+        rng: np.random.Generator,
+        count: int,
+        exclude: set[int] | frozenset[int] = frozenset(),
+    ) -> list[int]:
+        """Random exploration candidates drawn from the node's own address book."""
+        self._check_node(node_id)
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        pool = [
+            peer
+            for peer in self._books[node_id]
+            if peer != node_id and peer not in exclude
+        ]
+        if not pool or count == 0:
+            return []
+        count = min(count, len(pool))
+        return [int(peer) for peer in rng.choice(sorted(pool), size=count, replace=False)]
+
+    def coverage(self) -> float:
+        """Average fraction of the network each node knows about (diagnostic)."""
+        return float(
+            np.mean([len(book) / (self._num_nodes - 1) for book in self._books])
+        )
+
+    def _check_node(self, node_id: int) -> None:
+        if not 0 <= node_id < self._num_nodes:
+            raise IndexError(f"node id {node_id} out of range")

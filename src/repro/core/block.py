@@ -1,0 +1,55 @@
+"""Block model.
+
+Blocks in this simulator are identified by a dense integer index and carry
+only the metadata needed by the propagation model: the miner that produced
+them, the (global, simulated) time they were mined and their size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Block:
+    """A mined block broadcast over the p2p network.
+
+    Attributes
+    ----------
+    block_id:
+        Dense integer identifier, unique within a simulation.
+    miner:
+        ``node_id`` of the node that mined the block.
+    mined_at_ms:
+        Simulated wall-clock time at which the block was mined, in
+        milliseconds.  The paper's analysis treats each block broadcast
+        independently, so this is mostly used for bookkeeping and for the
+        event-driven engine.
+    size_kb:
+        Block size in kilobytes.  Only used when bandwidth constraints are
+        enabled.
+    """
+
+    block_id: int
+    miner: int
+    mined_at_ms: float = 0.0
+    size_kb: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.block_id < 0:
+            raise ValueError("block_id must be non-negative")
+        if self.miner < 0:
+            raise ValueError("miner must be a valid node id")
+        if self.size_kb <= 0:
+            raise ValueError("size_kb must be positive")
+
+    def transmission_delay_ms(self, bandwidth_mbps: float) -> float:
+        """Time to push this block through a link of ``bandwidth_mbps``.
+
+        The result is in milliseconds.  ``bandwidth_mbps`` is interpreted as
+        megabits per second, the unit used in Bitcoin measurement studies.
+        """
+        if bandwidth_mbps <= 0:
+            raise ValueError("bandwidth_mbps must be positive")
+        size_megabits = self.size_kb * 8.0 / 1000.0
+        return size_megabits / bandwidth_mbps * 1000.0

@@ -1,0 +1,126 @@
+"""A minimal discrete-event scheduling core.
+
+The event-driven propagation engine (:mod:`repro.core.eventsim`) is built on
+this generic priority-queue scheduler.  Events are ordered by time with a
+monotonically increasing sequence number as a tiebreaker, so simultaneous
+events are processed in the order they were scheduled — making runs fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time_ms: float
+    sequence: int
+    handler: Callable[["EventQueue", Any], None] = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventQueue:
+    """Time-ordered event queue with deterministic tie-breaking.
+
+    Handlers receive the queue itself (so they can schedule follow-up events)
+    and the payload the event was scheduled with.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[_ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in milliseconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events processed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still scheduled (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(
+        self,
+        time_ms: float,
+        handler: Callable[["EventQueue", Any], None],
+        payload: Any = None,
+    ) -> _ScheduledEvent:
+        """Schedule ``handler(queue, payload)`` at absolute time ``time_ms``.
+
+        Scheduling into the past is rejected to preserve causality.
+        """
+        if time_ms < self._now:
+            raise ValueError(
+                f"cannot schedule event at {time_ms} before current time {self._now}"
+            )
+        event = _ScheduledEvent(
+            time_ms=float(time_ms),
+            sequence=next(self._counter),
+            handler=handler,
+            payload=payload,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(
+        self,
+        delay_ms: float,
+        handler: Callable[["EventQueue", Any], None],
+        payload: Any = None,
+    ) -> _ScheduledEvent:
+        """Schedule relative to the current time."""
+        if delay_ms < 0:
+            raise ValueError("delay_ms must be non-negative")
+        return self.schedule(self._now + delay_ms, handler, payload)
+
+    @staticmethod
+    def cancel(event: _ScheduledEvent) -> None:
+        """Cancel a previously scheduled event (it will be skipped)."""
+        event.cancelled = True
+
+    def run(self, until_ms: float | None = None, max_events: int | None = None) -> int:
+        """Process events in time order.
+
+        Parameters
+        ----------
+        until_ms:
+            Stop once the next event is strictly later than this time.
+        max_events:
+            Stop after processing this many events (safety valve).
+
+        Returns the number of events processed by this call.
+        """
+        processed = 0
+        while self._heap:
+            if max_events is not None and processed >= max_events:
+                break
+            event = self._heap[0]
+            if until_ms is not None and event.time_ms > until_ms:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time_ms
+            event.handler(self, event.payload)
+            processed += 1
+            self._processed += 1
+        if until_ms is not None and self._now < until_ms and not self._heap:
+            self._now = until_ms
+        return processed
+
+    def run_all(self, max_events: int | None = None) -> int:
+        """Drain the queue completely (or until ``max_events``)."""
+        return self.run(until_ms=None, max_events=max_events)

@@ -1,0 +1,182 @@
+"""Event-driven block propagation with INV/GETDATA and bandwidth queueing.
+
+The analytic engine (:mod:`repro.core.propagation`) captures the paper's
+default model, where block size is small relative to node bandwidth and the
+propagation delay per hop is a single constant ``δ(u, v)``.  This module
+models the mechanism one level deeper, following the Bitcoin relay protocol
+described in Section 1.1.2:
+
+1. when a node finishes validating a block it sends an ``INV`` announcement
+   to every neighbor;
+2. a neighbor that does not yet have the block replies with ``GETDATA``;
+3. the block itself is then transferred, optionally constrained by the
+   sender's upload bandwidth (uploads are serialised per sender).
+
+With ``inv_overhead_ms = 0`` and unlimited bandwidth the per-hop delay
+collapses to ``δ(u, v)`` plus the receiver-side validation, and the arrival
+times coincide exactly with the analytic engine — an equivalence exercised by
+the integration tests.  With bandwidth enabled, the engine reproduces the
+queueing effects that large blocks induce at poorly provisioned nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.block import Block
+from repro.core.events import EventQueue
+from repro.core.network import P2PNetwork
+from repro.latency.base import LatencyModel
+
+
+@dataclass(frozen=True)
+class EventSimConfig:
+    """Behavioural knobs of the event-driven engine.
+
+    Attributes
+    ----------
+    inv_overhead_ms:
+        Extra round-trip overhead of the INV/GETDATA exchange per hop.  The
+        paper folds this overhead into ``δ(u, v)``; keep it at 0 to match the
+        analytic engine.
+    bandwidth_mbps:
+        Per-node upload bandwidth.  ``None`` disables bandwidth modelling.
+    block_size_kb:
+        Block size used to compute transmission delays when bandwidth is
+        modelled.
+    """
+
+    inv_overhead_ms: float = 0.0
+    bandwidth_mbps: float | None = None
+    block_size_kb: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.inv_overhead_ms < 0:
+            raise ValueError("inv_overhead_ms must be non-negative")
+        if self.bandwidth_mbps is not None and self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth_mbps must be positive when set")
+        if self.block_size_kb <= 0:
+            raise ValueError("block_size_kb must be positive")
+
+    @property
+    def transmission_delay_ms(self) -> float:
+        """Per-transfer serialisation delay implied by the bandwidth setting."""
+        if self.bandwidth_mbps is None:
+            return 0.0
+        block = Block(block_id=0, miner=0, size_kb=self.block_size_kb)
+        return block.transmission_delay_ms(self.bandwidth_mbps)
+
+
+@dataclass(frozen=True)
+class EventSimResult:
+    """Arrival and delivery information for a single simulated block.
+
+    Attributes
+    ----------
+    source:
+        Miner node id.
+    arrival_times:
+        ``arrival_times[v]`` is the time node ``v`` finished *receiving* the
+        block (before validating it), relative to the mining instant;
+        ``inf`` if it never arrived.
+    delivery_times:
+        ``delivery_times[v][u]`` is the time neighbor ``u`` delivered (or
+        would have delivered) the block to ``v``.  Mirrors the observation
+        semantics of the analytic engine.
+    events_processed:
+        Total number of discrete events processed.
+    """
+
+    source: int
+    arrival_times: np.ndarray
+    delivery_times: dict[int, dict[int, float]]
+    events_processed: int
+
+
+class EventDrivenEngine:
+    """INV/GETDATA event-driven propagation engine."""
+
+    def __init__(
+        self,
+        latency: LatencyModel,
+        validation_delays_ms: np.ndarray,
+        config: EventSimConfig | None = None,
+    ) -> None:
+        validation = np.asarray(validation_delays_ms, dtype=float)
+        if validation.shape[0] != latency.num_nodes:
+            raise ValueError(
+                "validation_delays_ms length must match the latency model size"
+            )
+        if np.any(validation < 0):
+            raise ValueError("validation delays must be non-negative")
+        self._latency = latency.as_matrix()
+        self._validation = validation
+        self._num_nodes = latency.num_nodes
+        self._config = config or EventSimConfig()
+
+    @property
+    def config(self) -> EventSimConfig:
+        return self._config
+
+    def propagate_block(self, network: P2PNetwork, source: int) -> EventSimResult:
+        """Simulate the propagation of one block mined by ``source``."""
+        if not 0 <= source < self._num_nodes:
+            raise ValueError("source out of range")
+        if network.num_nodes != self._num_nodes:
+            raise ValueError("network size must match the latency model")
+
+        adjacency = network.adjacency_lists()
+        arrival = np.full(self._num_nodes, np.inf, dtype=float)
+        deliveries: dict[int, dict[int, float]] = {
+            v: {} for v in range(self._num_nodes)
+        }
+        upload_free_at = np.zeros(self._num_nodes, dtype=float)
+        queue = EventQueue()
+        transmission = self._config.transmission_delay_ms
+        inv_overhead = self._config.inv_overhead_ms
+
+        def start_relaying(q: EventQueue, node: int) -> None:
+            """Node finished validating; push the block to all neighbors."""
+            for neighbor in adjacency[node]:
+                link_delay = self._latency[node, neighbor] + inv_overhead
+                if transmission > 0.0:
+                    start = max(q.now, upload_free_at[node])
+                    finish = start + transmission
+                    upload_free_at[node] = finish
+                    delivery_time = finish + link_delay
+                else:
+                    delivery_time = q.now + link_delay
+                deliveries[neighbor][node] = min(
+                    deliveries[neighbor].get(node, np.inf), delivery_time
+                )
+                q.schedule(delivery_time, on_block_received, (neighbor, node))
+
+        def on_block_received(q: EventQueue, payload: tuple[int, int]) -> None:
+            node, _sender = payload
+            if np.isfinite(arrival[node]):
+                return
+            arrival[node] = q.now
+            validation = self._validation[node]
+            q.schedule_in(
+                validation, lambda qq, _payload, n=node: start_relaying(qq, n)
+            )
+
+        arrival[source] = 0.0
+        # The miner does not validate its own block; it starts relaying
+        # immediately at time zero.
+        queue.schedule(0.0, lambda q, _: start_relaying(q, source), None)
+        queue.run_all(max_events=50 * self._num_nodes * max(network.out_degree, 1))
+        return EventSimResult(
+            source=source,
+            arrival_times=arrival,
+            delivery_times=deliveries,
+            events_processed=queue.processed_events,
+        )
+
+    def propagate_many(
+        self, network: P2PNetwork, sources: list[int] | np.ndarray
+    ) -> list[EventSimResult]:
+        """Propagate several blocks independently (one result per source)."""
+        return [self.propagate_block(network, int(source)) for source in sources]

@@ -1,0 +1,105 @@
+"""Node model.
+
+A node is a Bitcoin *server*: a peer able to accept incoming TCP connections
+(Section 2.1 of the paper).  Each node has a geographic region (used by the
+latency model), a share of the network's hash power (used to decide which node
+mines each block) and a block-validation delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Node:
+    """A Bitcoin server node in the peer-to-peer overlay.
+
+    Attributes
+    ----------
+    node_id:
+        Dense integer identifier in ``[0, num_nodes)``.
+    region:
+        Geographic region name (one of :data:`repro.datasets.regions.REGIONS`)
+        or ``"metric"`` when the hypercube latency model is used.
+    hash_power:
+        This node's share of the total network hash power.  All shares in a
+        population sum to 1.
+    validation_delay_ms:
+        Time the node spends cryptographically verifying a block before
+        relaying it (``Δv`` in the paper), in milliseconds.
+    coordinates:
+        Optional embedding coordinates.  For the geographic model this is a
+        (latitude-like, longitude-like) pair used only for diagnostics; for the
+        metric-space model it is the node's position in the unit hypercube.
+    is_relay:
+        Whether this node is part of a fast block-distribution overlay
+        (Section 5.4).
+    """
+
+    node_id: int
+    region: str
+    hash_power: float
+    validation_delay_ms: float
+    coordinates: tuple[float, ...] = field(default=())
+    is_relay: bool = False
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError("node_id must be non-negative")
+        if self.hash_power < 0:
+            raise ValueError("hash_power must be non-negative")
+        if self.validation_delay_ms < 0:
+            raise ValueError("validation_delay_ms must be non-negative")
+
+    def with_hash_power(self, hash_power: float) -> "Node":
+        """Return a copy of this node with a different hash power share."""
+        return Node(
+            node_id=self.node_id,
+            region=self.region,
+            hash_power=hash_power,
+            validation_delay_ms=self.validation_delay_ms,
+            coordinates=self.coordinates,
+            is_relay=self.is_relay,
+        )
+
+    def with_validation_delay(self, validation_delay_ms: float) -> "Node":
+        """Return a copy of this node with a different validation delay."""
+        return Node(
+            node_id=self.node_id,
+            region=self.region,
+            hash_power=self.hash_power,
+            validation_delay_ms=validation_delay_ms,
+            coordinates=self.coordinates,
+            is_relay=self.is_relay,
+        )
+
+    def as_relay(self) -> "Node":
+        """Return a copy of this node marked as a relay-network member."""
+        return Node(
+            node_id=self.node_id,
+            region=self.region,
+            hash_power=self.hash_power,
+            validation_delay_ms=self.validation_delay_ms,
+            coordinates=self.coordinates,
+            is_relay=True,
+        )
+
+
+def total_hash_power(nodes: list[Node]) -> float:
+    """Sum of hash power shares across ``nodes``."""
+    return float(sum(node.hash_power for node in nodes))
+
+
+def normalize_hash_power(nodes: list[Node]) -> list[Node]:
+    """Return nodes with hash power rescaled to sum to exactly 1.
+
+    Raises
+    ------
+    ValueError
+        If the total hash power of the population is zero.
+    """
+    total = total_hash_power(nodes)
+    if total <= 0:
+        raise ValueError("total hash power must be positive")
+    return [node.with_hash_power(node.hash_power / total) for node in nodes]

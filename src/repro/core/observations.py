@@ -1,0 +1,204 @@
+"""Observation sets: what a node learns about its neighbors during a round.
+
+During a round, each node ``v`` records, for every block ``b`` and every
+communication neighbor ``u``, the local time ``t^b_{u,v}`` at which ``u``
+delivered (or would have delivered) block ``b`` to ``v``; the tuple set
+``O_v = {(b, u, t^b_{u,v})}`` is the *observation set* of Section 4.1.
+
+Because a node cannot know when a block was actually mined, scores are always
+computed on the *time-normalised* observation set (Equation 2 of the paper):
+timestamps are re-expressed relative to the first time the node heard of each
+block from any neighbor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Sentinel used when a neighbor never delivered a block.
+NEVER = math.inf
+
+
+@dataclass(frozen=True)
+class Observation:
+    """A single ``(block, neighbor, timestamp)`` tuple recorded by a node."""
+
+    block_id: int
+    neighbor: int
+    timestamp_ms: float
+
+    def __post_init__(self) -> None:
+        if self.block_id < 0:
+            raise ValueError("block_id must be non-negative")
+        if self.neighbor < 0:
+            raise ValueError("neighbor must be a valid node id")
+
+
+@dataclass
+class ObservationSet:
+    """All observations a node collected during one round.
+
+    The underlying storage is a mapping ``block_id -> {neighbor: timestamp}``,
+    which keeps per-block normalisation (Equation 2) and per-neighbor
+    extraction cheap.
+    """
+
+    node_id: int
+    _by_block: dict[int, dict[int, float]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record(self, block_id: int, neighbor: int, timestamp_ms: float) -> None:
+        """Record that ``neighbor`` delivered ``block_id`` at ``timestamp_ms``."""
+        if block_id < 0:
+            raise ValueError("block_id must be non-negative")
+        if neighbor < 0:
+            raise ValueError("neighbor must be a valid node id")
+        self._by_block.setdefault(block_id, {})[neighbor] = float(timestamp_ms)
+
+    def record_many(
+        self, block_id: int, deliveries: dict[int, float]
+    ) -> None:
+        """Record a whole ``{neighbor: timestamp}`` mapping for one block."""
+        for neighbor, timestamp in deliveries.items():
+            self.record(block_id, neighbor, timestamp)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def block_ids(self) -> list[int]:
+        """Blocks for which at least one observation exists, sorted."""
+        return sorted(self._by_block)
+
+    @property
+    def neighbors_seen(self) -> set[int]:
+        """All neighbors appearing in at least one observation."""
+        seen: set[int] = set()
+        for deliveries in self._by_block.values():
+            seen.update(deliveries)
+        return seen
+
+    def num_observations(self) -> int:
+        """Total number of recorded ``(block, neighbor, timestamp)`` tuples."""
+        return sum(len(deliveries) for deliveries in self._by_block.values())
+
+    def __len__(self) -> int:
+        return self.num_observations()
+
+    def timestamps_for_block(self, block_id: int) -> dict[int, float]:
+        """The raw ``{neighbor: timestamp}`` map for one block (copy)."""
+        return dict(self._by_block.get(block_id, {}))
+
+    def iter_observations(self):
+        """Yield :class:`Observation` tuples in (block, neighbor) order."""
+        for block_id in sorted(self._by_block):
+            deliveries = self._by_block[block_id]
+            for neighbor in sorted(deliveries):
+                yield Observation(block_id, neighbor, deliveries[neighbor])
+
+    # ------------------------------------------------------------------ #
+    # Normalisation and per-neighbor views (Equation 2)
+    # ------------------------------------------------------------------ #
+    def first_arrival(self, block_id: int) -> float:
+        """Earliest time the node heard of ``block_id`` from any neighbor.
+
+        Returns :data:`NEVER` when the block was never observed.
+        """
+        deliveries = self._by_block.get(block_id)
+        if not deliveries:
+            return NEVER
+        return min(deliveries.values())
+
+    def normalized(self) -> "ObservationSet":
+        """Return the time-normalised observation set ``Õ_v``.
+
+        Every timestamp is replaced by its offset from the first time the
+        block reached the node.  Blocks that were never observed are dropped.
+        """
+        normalized = ObservationSet(node_id=self.node_id)
+        for block_id, deliveries in self._by_block.items():
+            finite = [t for t in deliveries.values() if math.isfinite(t)]
+            if not finite:
+                continue
+            first = min(finite)
+            for neighbor, timestamp in deliveries.items():
+                if math.isfinite(timestamp):
+                    normalized.record(block_id, neighbor, timestamp - first)
+                else:
+                    normalized.record(block_id, neighbor, NEVER)
+        return normalized
+
+    def relative_timestamps(self, neighbor: int) -> list[float]:
+        """The multiset ``T̃_{u,v}`` of relative timestamps for one neighbor.
+
+        The observation set must already be normalised (this method does not
+        normalise implicitly so callers control when normalisation happens).
+        Blocks the neighbor never delivered contribute :data:`NEVER`.
+        """
+        values: list[float] = []
+        for deliveries in self._by_block.values():
+            values.append(deliveries.get(neighbor, NEVER))
+        return values
+
+    def finite_relative_timestamps(self, neighbor: int) -> list[float]:
+        """Like :meth:`relative_timestamps` but dropping never-delivered blocks."""
+        return [t for t in self.relative_timestamps(neighbor) if math.isfinite(t)]
+
+    def merge(self, other: "ObservationSet") -> "ObservationSet":
+        """Union of two observation sets for the same node.
+
+        Used by scoring methods that accumulate observations over multiple
+        rounds (Perigee-UCB).  Block ids must not collide across rounds; the
+        simulator guarantees this by numbering blocks globally.
+        """
+        if other.node_id != self.node_id:
+            raise ValueError("cannot merge observation sets from different nodes")
+        merged = ObservationSet(node_id=self.node_id)
+        for source in (self, other):
+            for block_id, deliveries in source._by_block.items():
+                for neighbor, timestamp in deliveries.items():
+                    merged.record(block_id, neighbor, timestamp)
+        return merged
+
+
+def percentile_score(values: list[float] | np.ndarray, percentile: float = 90.0) -> float:
+    """The ``percentile``-th percentile of a timestamp multiset.
+
+    Infinite entries (blocks a neighbor never delivered) are kept: if the
+    requested percentile lands on them the score is infinite, which correctly
+    penalises neighbors that fail to deliver a sizeable fraction of blocks.
+    An empty multiset scores infinity (an unobserved neighbor carries no
+    evidence of good connectivity).
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return NEVER
+    if not 0.0 <= percentile <= 100.0:
+        raise ValueError("percentile must be within [0, 100]")
+    if not np.any(np.isfinite(array)):
+        return NEVER
+    # The percentile is taken over the full multiset: with enough infinite
+    # entries (blocks the neighbor never delivered) the requested percentile
+    # lands in the infinite mass and the score is infinite.
+    return _percentile_of_sorted(array, percentile)
+
+
+def _percentile_of_sorted(array: np.ndarray, percentile: float) -> float:
+    """Linear-interpolation percentile treating ``inf`` as the largest values."""
+    ordered = np.sort(array)
+    rank = percentile / 100.0 * (ordered.size - 1)
+    lower = int(math.floor(rank))
+    upper = int(math.ceil(rank))
+    if not math.isfinite(ordered[lower]):
+        return NEVER
+    if not math.isfinite(ordered[upper]):
+        return NEVER
+    if lower == upper:
+        return float(ordered[lower])
+    weight = rank - lower
+    return float(ordered[lower] * (1.0 - weight) + ordered[upper] * weight)

@@ -1,0 +1,257 @@
+"""Analytic block-propagation engine.
+
+Under the system model of Section 2, a node that mines a block (or finishes
+validating a received block) immediately starts relaying it to every neighbor
+``v``, and the relay over link ``(u, v)`` takes the constant time
+``δ(u, v)``.  The arrival time of a block at every node is therefore the
+length of a shortest path from the miner, where:
+
+* each traversed link ``(u, v)`` contributes ``δ(u, v)``, and
+* each intermediate node ``u`` contributes its validation delay ``Δ_u``
+  (the miner does not validate its own block).
+
+This engine computes those arrival times exactly with a sparse Dijkstra pass
+(SciPy's C implementation), which is both faster and easier to reason about
+than an event queue for the paper's default setting (small blocks, no
+bandwidth constraint).  The event-driven engine in
+:mod:`repro.core.eventsim` models INV/GETDATA exchange and bandwidth queueing
+and reduces to the same arrival times when bandwidth is unlimited (this
+equivalence is covered by the integration tests).
+
+Besides arrival times, the engine produces the *per-neighbor forwarding
+times* each node observes — the raw material for Perigee's observation sets:
+``t^b_{u,v} = arrival(u) + Δ_u + δ(u, v)`` for every communication edge
+``(u, v)`` (with ``Δ`` omitted when ``u`` is the miner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from repro.core.network import P2PNetwork
+from repro.latency.base import LatencyModel
+
+
+@dataclass(frozen=True)
+class PropagationResult:
+    """Result of propagating one or more blocks over a fixed topology.
+
+    Attributes
+    ----------
+    sources:
+        Miner node id for each propagated block, shape ``(num_blocks,)``.
+    arrival_times:
+        ``arrival_times[b, v]`` is the time (ms, relative to the block being
+        mined) at which node ``v`` first receives block ``b``.  ``inf`` if the
+        block never reaches ``v`` (disconnected topology).
+    """
+
+    sources: np.ndarray
+    arrival_times: np.ndarray
+
+    @property
+    def num_blocks(self) -> int:
+        return int(self.arrival_times.shape[0])
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.arrival_times.shape[1])
+
+    def reached_fraction(self, block_index: int) -> float:
+        """Fraction of nodes (not hash power) reached by the given block."""
+        return float(np.isfinite(self.arrival_times[block_index]).mean())
+
+
+class PropagationEngine:
+    """Computes block arrival times and per-neighbor forwarding observations.
+
+    Parameters
+    ----------
+    latency:
+        Link latency model providing ``δ(u, v)``.
+    validation_delays_ms:
+        Per-node validation delays ``Δ_v`` in milliseconds.
+    """
+
+    def __init__(
+        self,
+        latency: LatencyModel,
+        validation_delays_ms: np.ndarray,
+    ) -> None:
+        validation = np.asarray(validation_delays_ms, dtype=float)
+        if validation.ndim != 1:
+            raise ValueError("validation_delays_ms must be a 1-D array")
+        if validation.shape[0] != latency.num_nodes:
+            raise ValueError(
+                "validation_delays_ms length must match the latency model size"
+            )
+        if np.any(validation < 0):
+            raise ValueError("validation delays must be non-negative")
+        self._latency = latency
+        self._latency_matrix = latency.as_matrix()
+        self._validation = validation
+        self._num_nodes = latency.num_nodes
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        return self._latency
+
+    @property
+    def validation_delays(self) -> np.ndarray:
+        return self._validation.copy()
+
+    # ------------------------------------------------------------------ #
+    # Graph construction
+    # ------------------------------------------------------------------ #
+    def _directed_weight_graph(self, network: P2PNetwork) -> csr_matrix:
+        """Directed sparse graph with weight ``Δ_u + δ(u, v)`` on edge u->v.
+
+        Every undirected communication edge yields two directed entries.  The
+        miner's validation delay is *included* by these weights and later
+        subtracted from all distances, which is equivalent to not charging the
+        miner for validating its own block.
+        """
+        edges = network.to_numpy_edges()
+        n = self._num_nodes
+        if edges.shape[0] == 0:
+            return csr_matrix((n, n), dtype=float)
+        u = edges[:, 0]
+        v = edges[:, 1]
+        delta = self._latency_matrix[u, v]
+        rows = np.concatenate([u, v])
+        cols = np.concatenate([v, u])
+        weights = np.concatenate(
+            [self._validation[u] + delta, self._validation[v] + delta]
+        )
+        return csr_matrix((weights, (rows, cols)), shape=(n, n))
+
+    # ------------------------------------------------------------------ #
+    # Propagation
+    # ------------------------------------------------------------------ #
+    def propagate(
+        self, network: P2PNetwork, sources: np.ndarray | list[int]
+    ) -> PropagationResult:
+        """Propagate one block per entry of ``sources`` over ``network``.
+
+        Returns arrival times relative to each block's mining instant.
+        """
+        sources = np.asarray(sources, dtype=int)
+        if sources.ndim != 1:
+            raise ValueError("sources must be a 1-D array of node ids")
+        if sources.size == 0:
+            return PropagationResult(
+                sources=sources,
+                arrival_times=np.zeros((0, self._num_nodes), dtype=float),
+            )
+        if np.any(sources < 0) or np.any(sources >= self._num_nodes):
+            raise ValueError("source ids out of range")
+        if network.num_nodes != self._num_nodes:
+            raise ValueError("network size must match the latency model")
+        graph = self._directed_weight_graph(network)
+        unique_sources, inverse = np.unique(sources, return_inverse=True)
+        distances = dijkstra(graph, directed=True, indices=unique_sources)
+        distances = np.atleast_2d(distances)
+        # Remove the miner's own validation delay which the directed weights
+        # charged on the first hop out of each source.
+        distances = distances - self._validation[unique_sources][:, None]
+        distances[np.arange(unique_sources.size), unique_sources] = 0.0
+        arrival = distances[inverse]
+        return PropagationResult(sources=sources.copy(), arrival_times=arrival)
+
+    def forwarding_times(
+        self,
+        network: P2PNetwork,
+        result: PropagationResult,
+        block_index: int,
+    ) -> dict[int, dict[int, float]]:
+        """Per-neighbor forwarding times for one propagated block.
+
+        Returns a nested mapping ``{v: {u: t}}`` where ``t`` is the time at
+        which neighbor ``u`` would deliver the block to ``v`` — i.e. the
+        timestamp ``t^b_{u,v}`` a node records in its observation set.  Every
+        communication neighbor ``u`` of ``v`` appears, even when ``v`` first
+        heard of the block from a different neighbor.
+        """
+        if not 0 <= block_index < result.num_blocks:
+            raise IndexError("block_index out of range")
+        arrival = result.arrival_times[block_index]
+        source = int(result.sources[block_index])
+        edges = network.to_numpy_edges()
+        observations: dict[int, dict[int, float]] = {
+            v: {} for v in range(self._num_nodes)
+        }
+        if edges.shape[0] == 0:
+            return observations
+        for u, v in edges:
+            observations[v][u] = self._forward_time(arrival, source, int(u), int(v))
+            observations[u][v] = self._forward_time(arrival, source, int(v), int(u))
+        return observations
+
+    def forwarding_time_matrix(
+        self,
+        network: P2PNetwork,
+        result: PropagationResult,
+    ) -> dict[tuple[int, int], np.ndarray]:
+        """Vectorised forwarding times for *all* blocks in ``result``.
+
+        Returns a mapping from directed edge ``(u, v)`` to an array of length
+        ``num_blocks`` holding ``t^b_{u,v}`` for every block ``b``.  This is
+        the bulk interface the simulator uses to build observation sets for a
+        whole round at once.
+        """
+        edges = network.to_numpy_edges()
+        out: dict[tuple[int, int], np.ndarray] = {}
+        if edges.shape[0] == 0:
+            return out
+        arrival = result.arrival_times  # (B, N)
+        sources = result.sources  # (B,)
+        u = edges[:, 0]
+        v = edges[:, 1]
+        delta = self._latency_matrix[u, v]  # (E,)
+        # Validation delay applies unless the forwarding node is the miner.
+        val_u = np.where(
+            sources[:, None] == u[None, :], 0.0, self._validation[u][None, :]
+        )  # (B, E)
+        val_v = np.where(
+            sources[:, None] == v[None, :], 0.0, self._validation[v][None, :]
+        )
+        t_u_to_v = arrival[:, u] + val_u + delta[None, :]  # (B, E)
+        t_v_to_u = arrival[:, v] + val_v + delta[None, :]
+        for edge_index in range(edges.shape[0]):
+            uu = int(u[edge_index])
+            vv = int(v[edge_index])
+            out[(uu, vv)] = t_u_to_v[:, edge_index]
+            out[(vv, uu)] = t_v_to_u[:, edge_index]
+        return out
+
+    def _forward_time(
+        self, arrival: np.ndarray, source: int, sender: int, receiver: int
+    ) -> float:
+        validation = 0.0 if sender == source else float(self._validation[sender])
+        return float(
+            arrival[sender] + validation + self._latency_matrix[sender, receiver]
+        )
+
+    # ------------------------------------------------------------------ #
+    # All-pairs helper used by metrics
+    # ------------------------------------------------------------------ #
+    def all_sources_arrival_times(self, network: P2PNetwork) -> np.ndarray:
+        """Arrival-time matrix with every node as a block source.
+
+        ``out[s, v]`` is the time for a block mined by ``s`` to reach ``v``.
+        Used by the delay metrics of Section 2.2, which evaluate every node as
+        a potential miner.
+        """
+        graph = self._directed_weight_graph(network)
+        distances = dijkstra(graph, directed=True)
+        distances = distances - self._validation[:, None]
+        np.fill_diagonal(distances, 0.0)
+        return distances

@@ -1,0 +1,291 @@
+"""Round-based simulation driver.
+
+The simulator orchestrates the loop of Section 4.1:
+
+1. mine ``|B|`` blocks, each by a node drawn proportionally to hash power;
+2. propagate every block over the current overlay and let each node collect
+   its observation set (the per-neighbor delivery timestamps);
+3. hand the observation sets to the protocol, which rewires each node's
+   outgoing connections (Algorithm 1) — static baselines skip this step;
+4. optionally evaluate the overlay (time for a block from every node to reach
+   a target fraction of the hash power).
+
+The simulator is deliberately thin: all modelling lives in the propagation
+engines, all policy lives in the protocols, and all analysis lives in
+:mod:`repro.metrics` — which keeps each piece independently testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.core.block import Block
+from repro.core.network import P2PNetwork
+from repro.core.observations import ObservationSet
+from repro.core.propagation import PropagationEngine, PropagationResult
+from repro.datasets.bitnodes import NodePopulation, generate_population
+from repro.latency.base import LatencyModel
+from repro.latency.geo import GeographicLatencyModel
+from repro.latency.metric_space import MetricSpaceLatencyModel
+from repro.metrics.delay import hash_power_reach_times
+from repro.protocols.base import NeighborSelectionProtocol, ProtocolContext
+
+
+@dataclass(frozen=True)
+class RoundResult:
+    """Summary of one simulated round.
+
+    Attributes
+    ----------
+    round_index:
+        Zero-based round number.
+    blocks:
+        The blocks mined during the round.
+    reach_times_ms:
+        Per-source-node time to reach the configured hash power target,
+        evaluated on the topology *after* this round's update; ``None`` for
+        rounds where evaluation was skipped.
+    median_reach_ms / p90_reach_ms:
+        Convenience percentiles over ``reach_times_ms`` (``None`` when not
+        evaluated).
+    """
+
+    round_index: int
+    blocks: tuple[Block, ...]
+    reach_times_ms: np.ndarray | None = None
+    median_reach_ms: float | None = None
+    p90_reach_ms: float | None = None
+
+
+@dataclass
+class SimulationResult:
+    """Complete output of a simulation run."""
+
+    config: SimulationConfig
+    protocol_name: str
+    rounds: list[RoundResult] = field(default_factory=list)
+    final_reach_times_ms: np.ndarray | None = None
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    def convergence_trajectory(self) -> list[tuple[int, float]]:
+        """(round, median reach time) pairs for rounds that were evaluated."""
+        return [
+            (item.round_index, float(item.median_reach_ms))
+            for item in self.rounds
+            if item.median_reach_ms is not None
+        ]
+
+
+class Simulator:
+    """Round-based simulation of block propagation under a protocol.
+
+    Parameters
+    ----------
+    config:
+        Simulation configuration.
+    protocol:
+        The neighbor-selection protocol under study.
+    population:
+        Optional pre-generated node population; generated from ``config`` when
+        omitted.
+    latency:
+        Optional latency model; derived from ``config`` when omitted
+        (geographic by default, metric-space when
+        ``config.latency_model == "metric"``).
+    rng:
+        Optional random generator; seeded from ``config.seed`` when omitted.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        protocol: NeighborSelectionProtocol,
+        population: NodePopulation | None = None,
+        latency: LatencyModel | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self._config = config
+        self._protocol = protocol
+        self._rng = rng if rng is not None else np.random.default_rng(config.seed)
+        self._population = (
+            population
+            if population is not None
+            else generate_population(config, self._rng)
+        )
+        if len(self._population) != config.num_nodes:
+            raise ValueError("population size must match config.num_nodes")
+        self._latency = (
+            latency if latency is not None else self._build_latency_model()
+        )
+        if self._latency.num_nodes != config.num_nodes:
+            raise ValueError("latency model size must match config.num_nodes")
+        self._engine = PropagationEngine(
+            self._latency, self._population.validation_delays
+        )
+        self._context = ProtocolContext(
+            config=config, nodes=self._population.nodes, latency=self._latency
+        )
+        self._network = P2PNetwork(
+            num_nodes=config.num_nodes,
+            out_degree=config.out_degree,
+            max_incoming=config.max_incoming,
+        )
+        self._protocol.reset()
+        self._protocol.build_topology(self._context, self._network, self._rng)
+        self._hash_power = self._population.hash_power
+        self._next_block_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> SimulationConfig:
+        return self._config
+
+    @property
+    def protocol(self) -> NeighborSelectionProtocol:
+        return self._protocol
+
+    @property
+    def population(self) -> NodePopulation:
+        return self._population
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        return self._latency
+
+    @property
+    def network(self) -> P2PNetwork:
+        """The current overlay (mutated in place as rounds execute)."""
+        return self._network
+
+    @property
+    def engine(self) -> PropagationEngine:
+        return self._engine
+
+    @property
+    def context(self) -> ProtocolContext:
+        return self._context
+
+    # ------------------------------------------------------------------ #
+    # Simulation steps
+    # ------------------------------------------------------------------ #
+    def _build_latency_model(self) -> LatencyModel:
+        if self._config.latency_model == "metric":
+            return MetricSpaceLatencyModel(
+                num_nodes=self._config.num_nodes,
+                dimension=self._config.metric_dimension,
+                rng=self._rng,
+            )
+        return GeographicLatencyModel(self._population.nodes, self._rng)
+
+    def mine_blocks(self, count: int | None = None) -> list[Block]:
+        """Draw miners proportionally to hash power and mint blocks."""
+        count = self._config.blocks_per_round if count is None else count
+        if count < 1:
+            raise ValueError("count must be positive")
+        miners = self._rng.choice(
+            self._config.num_nodes, size=count, p=self._hash_power
+        )
+        blocks = []
+        for miner in miners:
+            blocks.append(
+                Block(
+                    block_id=self._next_block_id,
+                    miner=int(miner),
+                    size_kb=self._config.block_size_kb,
+                )
+            )
+            self._next_block_id += 1
+        return blocks
+
+    def propagate_blocks(self, blocks: list[Block]) -> PropagationResult:
+        """Propagate the given blocks over the current overlay."""
+        sources = np.array([block.miner for block in blocks], dtype=int)
+        return self._engine.propagate(self._network, sources)
+
+    def collect_observations(
+        self, blocks: list[Block], result: PropagationResult
+    ) -> dict[int, ObservationSet]:
+        """Build each node's observation set for a round.
+
+        Every node records, for every block, the delivery timestamp from each
+        of its communication neighbors (Section 4.1).
+        """
+        forwarding = self._engine.forwarding_time_matrix(self._network, result)
+        observations = {
+            node_id: ObservationSet(node_id=node_id)
+            for node_id in range(self._config.num_nodes)
+        }
+        for (sender, receiver), times in forwarding.items():
+            obs = observations[receiver]
+            for block_index, block in enumerate(blocks):
+                obs.record(block.block_id, sender, float(times[block_index]))
+        return observations
+
+    def evaluate(self) -> np.ndarray:
+        """Per-source time to reach the configured hash power target (ms)."""
+        arrival = self._engine.all_sources_arrival_times(self._network)
+        return hash_power_reach_times(
+            arrival, self._hash_power, self._config.hash_power_target
+        )
+
+    def run_round(self, round_index: int, evaluate: bool = False) -> RoundResult:
+        """Execute one full round: mine, propagate, observe, update, evaluate."""
+        blocks = self.mine_blocks()
+        result = self.propagate_blocks(blocks)
+        if self._protocol.is_adaptive:
+            observations = self.collect_observations(blocks, result)
+            self._protocol.update(
+                self._context, self._network, observations, self._rng
+            )
+        reach = median = p90 = None
+        if evaluate:
+            reach = self.evaluate()
+            finite = reach[np.isfinite(reach)]
+            if finite.size:
+                median = float(np.median(finite))
+                p90 = float(np.percentile(finite, 90))
+        return RoundResult(
+            round_index=round_index,
+            blocks=tuple(blocks),
+            reach_times_ms=reach,
+            median_reach_ms=median,
+            p90_reach_ms=p90,
+        )
+
+    def run(
+        self,
+        rounds: int | None = None,
+        evaluate_every: int | None = None,
+    ) -> SimulationResult:
+        """Run the configured number of rounds.
+
+        Parameters
+        ----------
+        rounds:
+            Number of rounds (defaults to ``config.rounds``).
+        evaluate_every:
+            Evaluate the topology every this many rounds (1 = every round);
+            ``None`` evaluates only after the final round.
+        """
+        rounds = self._config.rounds if rounds is None else rounds
+        if rounds < 1:
+            raise ValueError("rounds must be positive")
+        outcome = SimulationResult(
+            config=self._config, protocol_name=self._protocol.name
+        )
+        for round_index in range(rounds):
+            evaluate = (
+                evaluate_every is not None
+                and (round_index + 1) % evaluate_every == 0
+            )
+            outcome.rounds.append(self.run_round(round_index, evaluate=evaluate))
+        outcome.final_reach_times_ms = self.evaluate()
+        return outcome

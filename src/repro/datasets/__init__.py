@@ -1,0 +1,44 @@
+"""Synthetic datasets replacing the paper's external data sources.
+
+The paper samples 1000 nodes from a public Bitnodes snapshot and assigns link
+latencies from the iPlane measurement dataset.  Neither dataset ships with
+this reproduction (no network access, and the original snapshots are not
+archived), so this subpackage synthesizes equivalent populations:
+
+* :mod:`repro.datasets.regions` — the seven geographic regions used by the
+  paper and an inter-region round-trip-time matrix in the ranges reported by
+  public latency measurement studies.
+* :mod:`repro.datasets.bitnodes` — a node population generator with a regional
+  mix matching public Bitnodes snapshots.
+* :mod:`repro.datasets.hashpower` — the hash power distributions used in
+  Sections 5.2 and 5.4.
+"""
+
+from repro.datasets.bitnodes import NodePopulation, generate_population
+from repro.datasets.hashpower import (
+    concentrated_hash_power,
+    exponential_hash_power,
+    sample_hash_power,
+    uniform_hash_power,
+)
+from repro.datasets.regions import (
+    REGION_INDEX,
+    REGION_PROPORTIONS,
+    REGIONS,
+    inter_region_latency_ms,
+    region_latency_matrix,
+)
+
+__all__ = [
+    "NodePopulation",
+    "REGIONS",
+    "REGION_INDEX",
+    "REGION_PROPORTIONS",
+    "concentrated_hash_power",
+    "exponential_hash_power",
+    "generate_population",
+    "inter_region_latency_ms",
+    "region_latency_matrix",
+    "sample_hash_power",
+    "uniform_hash_power",
+]

@@ -1,0 +1,117 @@
+"""Hash power distributions used in the evaluation.
+
+Three settings appear in the paper:
+
+* **uniform** (Section 5.1 default) — every node has the same share.
+* **exponential** (Section 5.2, Figure 3(b)) — shares drawn from an
+  exponential distribution with mean 1 and normalised to sum to 1.
+* **concentrated** (Section 5.4, Figure 4(b)) — 10% of the nodes, picked at
+  random, jointly hold 90% of the network's hash power; the remaining nodes
+  share the residual 10%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DISTRIBUTIONS = ("uniform", "exponential", "concentrated")
+
+#: Fraction of nodes designated as high-power miners in the concentrated
+#: setting (Section 5.4).
+CONCENTRATED_MINER_FRACTION = 0.10
+
+#: Fraction of total hash power held by the high-power miners.
+CONCENTRATED_POWER_SHARE = 0.90
+
+
+def uniform_hash_power(num_nodes: int) -> np.ndarray:
+    """Every node holds an equal ``1 / num_nodes`` share."""
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be positive")
+    return np.full(num_nodes, 1.0 / num_nodes, dtype=float)
+
+
+def exponential_hash_power(
+    num_nodes: int, rng: np.random.Generator, mean: float = 1.0
+) -> np.ndarray:
+    """Shares drawn i.i.d. from Exp(mean) and normalised to sum to 1."""
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be positive")
+    if mean <= 0:
+        raise ValueError("mean must be positive")
+    draws = rng.exponential(scale=mean, size=num_nodes)
+    # Guard against the (measure-zero but numerically possible) all-zero draw.
+    if draws.sum() <= 0:
+        return uniform_hash_power(num_nodes)
+    return draws / draws.sum()
+
+
+def concentrated_hash_power(
+    num_nodes: int,
+    rng: np.random.Generator,
+    miner_fraction: float = CONCENTRATED_MINER_FRACTION,
+    power_share: float = CONCENTRATED_POWER_SHARE,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concentrated mining-pool setting of Section 5.4.
+
+    Returns
+    -------
+    (shares, miner_ids):
+        ``shares`` is the per-node hash power vector (sums to 1);
+        ``miner_ids`` is the sorted array of node ids designated as
+        high-power miners.
+    """
+    if num_nodes < 2:
+        raise ValueError("num_nodes must be at least 2")
+    if not 0 < miner_fraction < 1:
+        raise ValueError("miner_fraction must be in (0, 1)")
+    if not 0 < power_share < 1:
+        raise ValueError("power_share must be in (0, 1)")
+    num_miners = max(1, int(round(num_nodes * miner_fraction)))
+    if num_miners >= num_nodes:
+        num_miners = num_nodes - 1
+    miner_ids = np.sort(rng.choice(num_nodes, size=num_miners, replace=False))
+    shares = np.full(
+        num_nodes, (1.0 - power_share) / (num_nodes - num_miners), dtype=float
+    )
+    shares[miner_ids] = power_share / num_miners
+    return shares, miner_ids
+
+
+def sample_hash_power(
+    distribution: str, num_nodes: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Dispatch on the distribution name used in :class:`SimulationConfig`.
+
+    For the ``"concentrated"`` distribution only the share vector is returned;
+    use :func:`concentrated_hash_power` directly when the miner identities are
+    also needed.
+    """
+    if distribution == "uniform":
+        return uniform_hash_power(num_nodes)
+    if distribution == "exponential":
+        return exponential_hash_power(num_nodes, rng)
+    if distribution == "concentrated":
+        shares, _ = concentrated_hash_power(num_nodes, rng)
+        return shares
+    raise ValueError(f"unknown hash power distribution: {distribution!r}")
+
+
+def gini_coefficient(shares: np.ndarray) -> float:
+    """Gini coefficient of a hash power vector (0 = equal, -> 1 = concentrated).
+
+    Used by tests and diagnostics to characterise how skewed a distribution
+    is; the uniform distribution has Gini 0 while the concentrated setting is
+    close to ``power_share - miner_fraction``.
+    """
+    values = np.sort(np.asarray(shares, dtype=float))
+    if values.size == 0:
+        raise ValueError("shares must be non-empty")
+    if np.any(values < 0):
+        raise ValueError("shares must be non-negative")
+    total = values.sum()
+    if total == 0:
+        raise ValueError("shares must not all be zero")
+    n = values.size
+    weighted_sum = np.sum(np.arange(1, n + 1) * values)
+    return float(2.0 * weighted_sum / (n * total) - (n + 1.0) / n)

@@ -1,0 +1,27 @@
+"""Link-latency models.
+
+The propagation delay ``δ(u, v)`` between any two directly connected nodes is
+a constant per pair (Section 2.1).  This subpackage provides the different
+ways the evaluation derives those constants:
+
+* :mod:`repro.latency.geo` — geography-derived latencies (iPlane-like region
+  matrix plus per-link jitter), the paper's default.
+* :mod:`repro.latency.metric_space` — latencies from a random embedding in the
+  unit hypercube, the theoretical model of Section 3.
+* :mod:`repro.latency.relay` — overlays a fast block-distribution network
+  (bloXroute-like) on top of an existing latency matrix (Section 5.4).
+"""
+
+from repro.latency.base import LatencyModel, MatrixLatencyModel
+from repro.latency.geo import GeographicLatencyModel
+from repro.latency.metric_space import MetricSpaceLatencyModel
+from repro.latency.relay import RelayNetworkOverlay, apply_relay_overlay
+
+__all__ = [
+    "GeographicLatencyModel",
+    "LatencyModel",
+    "MatrixLatencyModel",
+    "MetricSpaceLatencyModel",
+    "RelayNetworkOverlay",
+    "apply_relay_overlay",
+]

@@ -1,0 +1,88 @@
+"""Latency model interface.
+
+A latency model answers one question: what is the constant one-way latency
+``δ(u, v)`` (in milliseconds) of sending a block between nodes ``u`` and ``v``
+if they are directly connected?  All models precompute (or lazily materialise)
+a dense symmetric matrix since the populations studied are of moderate size
+(about a thousand nodes).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class LatencyModel(abc.ABC):
+    """Abstract interface shared by all latency models."""
+
+    @property
+    @abc.abstractmethod
+    def num_nodes(self) -> int:
+        """Number of nodes the model covers."""
+
+    @abc.abstractmethod
+    def latency(self, u: int, v: int) -> float:
+        """One-way latency in milliseconds between nodes ``u`` and ``v``."""
+
+    @abc.abstractmethod
+    def as_matrix(self) -> np.ndarray:
+        """Dense symmetric latency matrix with a zero diagonal."""
+
+    def validate(self) -> None:
+        """Check basic invariants of the produced matrix.
+
+        Raises ``ValueError`` when the matrix is not square, not symmetric,
+        has a non-zero diagonal or contains negative entries.
+        """
+        matrix = self.as_matrix()
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("latency matrix must be square")
+        if matrix.shape[0] != self.num_nodes:
+            raise ValueError("latency matrix size must match num_nodes")
+        if not np.allclose(matrix, matrix.T):
+            raise ValueError("latency matrix must be symmetric")
+        if not np.allclose(np.diag(matrix), 0.0):
+            raise ValueError("latency matrix diagonal must be zero")
+        if np.any(matrix < 0):
+            raise ValueError("latencies must be non-negative")
+
+
+class MatrixLatencyModel(LatencyModel):
+    """Latency model backed by an explicit matrix.
+
+    Useful for tests, for custom scenarios, and as the result type of
+    overlays (e.g. :func:`repro.latency.relay.apply_relay_overlay`) that
+    transform another model's matrix.
+    """
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("matrix must be square")
+        self._matrix = matrix.copy()
+        # Force an exactly-zero diagonal and exact symmetry so downstream
+        # shortest-path computations never see tiny negative asymmetries.
+        np.fill_diagonal(self._matrix, 0.0)
+        self._matrix = (self._matrix + self._matrix.T) / 2.0
+        self.validate()
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self._matrix.shape[0])
+
+    def latency(self, u: int, v: int) -> float:
+        return float(self._matrix[u, v])
+
+    def as_matrix(self) -> np.ndarray:
+        return self._matrix.copy()
+
+    @classmethod
+    def constant(cls, num_nodes: int, latency_ms: float) -> "MatrixLatencyModel":
+        """All pairs share the same latency — a handy degenerate test model."""
+        if latency_ms < 0:
+            raise ValueError("latency_ms must be non-negative")
+        matrix = np.full((num_nodes, num_nodes), latency_ms, dtype=float)
+        np.fill_diagonal(matrix, 0.0)
+        return cls(matrix)

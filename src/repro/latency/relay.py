@@ -1,0 +1,160 @@
+"""Fast block-distribution network overlay (Section 5.4).
+
+The paper simulates bloXroute/Falcon/FIBRE-style relay networks in two ways:
+
+* lowering the link latencies among a set of high-power miners
+  (Figure 4(b)), and
+* adding a dedicated low-latency relay overlay of 100 nodes organised as a
+  tree, whose members also validate blocks 10x faster (Figure 4(c)).
+
+This module implements both transformations on top of an existing latency
+matrix, returning a :class:`repro.latency.base.MatrixLatencyModel` so the
+propagation engines and protocols are oblivious to the overlay's presence —
+exactly the property the paper highlights (Perigee adapts to exploit relay
+networks without being told about them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.latency.base import LatencyModel, MatrixLatencyModel
+
+#: Default number of relay nodes (Section 5.4 uses 100).
+DEFAULT_RELAY_SIZE = 100
+
+#: Default latency of links internal to the relay overlay, in milliseconds.
+DEFAULT_RELAY_LINK_MS = 5.0
+
+#: Default factor applied to latencies among high-power miners (Figure 4(b)).
+DEFAULT_MINER_SPEEDUP = 0.1
+
+
+@dataclass(frozen=True)
+class RelayNetworkOverlay:
+    """Description of a relay overlay applied on top of a latency model.
+
+    Attributes
+    ----------
+    members:
+        Node ids participating in the overlay.
+    tree_parent:
+        ``tree_parent[i]`` is the parent (node id) of ``members[i]`` in the
+        relay distribution tree, or ``-1`` for the root.  The tree is only
+        used for reporting; latencies are lowered between members that are
+        adjacent in the tree and, more mildly, between all member pairs.
+    link_latency_ms:
+        Latency assigned to tree-adjacent relay links.
+    """
+
+    members: tuple[int, ...]
+    tree_parent: tuple[int, ...]
+    link_latency_ms: float = DEFAULT_RELAY_LINK_MS
+
+    def __post_init__(self) -> None:
+        if len(self.members) != len(self.tree_parent):
+            raise ValueError("members and tree_parent must have the same length")
+        if len(set(self.members)) != len(self.members):
+            raise ValueError("relay members must be distinct")
+        if self.link_latency_ms <= 0:
+            raise ValueError("link_latency_ms must be positive")
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Tree edges as (child, parent) node-id pairs."""
+        pairs = []
+        for member, parent in zip(self.members, self.tree_parent):
+            if parent >= 0:
+                pairs.append((member, parent))
+        return pairs
+
+
+def build_relay_tree(
+    candidate_nodes: int,
+    rng: np.random.Generator,
+    size: int = DEFAULT_RELAY_SIZE,
+    branching: int = 3,
+    link_latency_ms: float = DEFAULT_RELAY_LINK_MS,
+) -> RelayNetworkOverlay:
+    """Pick ``size`` random nodes and organise them as a ``branching``-ary tree."""
+    if size < 1:
+        raise ValueError("size must be positive")
+    if size > candidate_nodes:
+        raise ValueError("size cannot exceed the number of candidate nodes")
+    if branching < 1:
+        raise ValueError("branching must be positive")
+    members = tuple(
+        int(x) for x in rng.choice(candidate_nodes, size=size, replace=False)
+    )
+    parents = []
+    for index in range(size):
+        if index == 0:
+            parents.append(-1)
+        else:
+            parent_index = (index - 1) // branching
+            parents.append(members[parent_index])
+    return RelayNetworkOverlay(
+        members=members,
+        tree_parent=tuple(parents),
+        link_latency_ms=link_latency_ms,
+    )
+
+
+def apply_relay_overlay(
+    base: LatencyModel,
+    overlay: RelayNetworkOverlay,
+    member_pair_latency_ms: float | None = None,
+) -> MatrixLatencyModel:
+    """Lower latencies along the relay overlay.
+
+    Tree-adjacent member pairs get ``overlay.link_latency_ms``.  If
+    ``member_pair_latency_ms`` is given, *all* member pairs are capped at that
+    value, modelling a well-provisioned relay backbone where any two relay
+    nodes reach each other quickly through the operator's infrastructure.
+    """
+    matrix = base.as_matrix()
+    for child, parent in overlay.edges():
+        matrix[child, parent] = min(matrix[child, parent], overlay.link_latency_ms)
+        matrix[parent, child] = matrix[child, parent]
+    if member_pair_latency_ms is not None:
+        if member_pair_latency_ms <= 0:
+            raise ValueError("member_pair_latency_ms must be positive")
+        members = np.array(overlay.members, dtype=int)
+        sub = matrix[np.ix_(members, members)]
+        capped = np.minimum(sub, member_pair_latency_ms)
+        matrix[np.ix_(members, members)] = capped
+    np.fill_diagonal(matrix, 0.0)
+    return MatrixLatencyModel(matrix)
+
+
+def apply_miner_speedup(
+    base: LatencyModel,
+    miner_ids: tuple[int, ...] | list[int] | np.ndarray,
+    speedup: float = DEFAULT_MINER_SPEEDUP,
+    floor_ms: float = 1.0,
+) -> MatrixLatencyModel:
+    """Scale down latencies between the given miners (Figure 4(b) setting).
+
+    The paper sets the link propagation latencies between high-power miners to
+    be "much smaller than their default values"; ``speedup`` is the
+    multiplicative factor applied (default 0.1), with a small floor so links
+    never become free.
+    """
+    if not 0 < speedup <= 1:
+        raise ValueError("speedup must be in (0, 1]")
+    if floor_ms < 0:
+        raise ValueError("floor_ms must be non-negative")
+    miners = np.asarray(miner_ids, dtype=int)
+    if miners.size == 0:
+        return MatrixLatencyModel(base.as_matrix())
+    matrix = base.as_matrix()
+    sub = matrix[np.ix_(miners, miners)]
+    scaled = np.maximum(sub * speedup, floor_ms)
+    matrix[np.ix_(miners, miners)] = scaled
+    np.fill_diagonal(matrix, 0.0)
+    return MatrixLatencyModel(matrix)

@@ -1,0 +1,118 @@
+"""Fork-rate estimation from block propagation delays.
+
+Section 1.1.2 of the paper connects propagation delay to blockchain
+performance: "If the propagation delay is too large, then there is a higher
+probability of mining of a block while another block at the same blockchain
+height is being propagated across the network — a phenomenon called forking —
+reducing network throughput."
+
+Under the standard model of mining as a Poisson process with rate
+``1 / block_interval``, the probability that some other miner produces a
+competing block while a freshly mined block is still propagating is
+
+``P(fork) = 1 - exp(-delay / block_interval)``
+
+where ``delay`` is the time for the block to reach the (hash-power-weighted)
+rest of the network.  These helpers turn the per-source reach times produced
+by the simulator into fork-rate estimates, so topology improvements can be
+expressed in the unit operators actually care about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Bitcoin's average block interval, in milliseconds.
+BITCOIN_BLOCK_INTERVAL_MS = 10.0 * 60.0 * 1000.0
+
+
+def fork_probability(delay_ms: float, block_interval_ms: float) -> float:
+    """Probability of a competing block appearing within ``delay_ms``."""
+    if block_interval_ms <= 0:
+        raise ValueError("block_interval_ms must be positive")
+    if delay_ms < 0:
+        raise ValueError("delay_ms must be non-negative")
+    if not np.isfinite(delay_ms):
+        return 1.0
+    return float(1.0 - np.exp(-delay_ms / block_interval_ms))
+
+
+@dataclass(frozen=True)
+class ForkRateEstimate:
+    """Network-wide fork-rate estimate derived from per-source reach delays."""
+
+    block_interval_ms: float
+    mean_fork_probability: float
+    worst_fork_probability: float
+    effective_throughput_fraction: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "block_interval_ms": self.block_interval_ms,
+            "mean_fork_probability": self.mean_fork_probability,
+            "worst_fork_probability": self.worst_fork_probability,
+            "effective_throughput_fraction": self.effective_throughput_fraction,
+        }
+
+
+def estimate_fork_rate(
+    reach_times_ms: np.ndarray,
+    hash_power: np.ndarray | None = None,
+    block_interval_ms: float = BITCOIN_BLOCK_INTERVAL_MS,
+) -> ForkRateEstimate:
+    """Estimate fork rates from per-source reach times.
+
+    Parameters
+    ----------
+    reach_times_ms:
+        Per-node delay for a block mined by that node to reach the hash power
+        target (e.g. the output of ``Simulator.evaluate``).
+    hash_power:
+        Optional per-node hash power used to weight sources by how often they
+        actually mine; uniform weighting when omitted.
+    block_interval_ms:
+        Average block interval of the chain (Bitcoin's 10 minutes by default).
+    """
+    reach = np.asarray(reach_times_ms, dtype=float)
+    if reach.ndim != 1 or reach.size == 0:
+        raise ValueError("reach_times_ms must be a non-empty 1-D array")
+    if hash_power is None:
+        weights = np.full(reach.size, 1.0 / reach.size)
+    else:
+        weights = np.asarray(hash_power, dtype=float)
+        if weights.shape != reach.shape:
+            raise ValueError("hash_power must match reach_times_ms in shape")
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise ValueError("hash_power must be non-negative and not all zero")
+        weights = weights / weights.sum()
+    probabilities = np.array(
+        [fork_probability(delay, block_interval_ms) for delay in reach]
+    )
+    mean_probability = float(np.sum(probabilities * weights))
+    worst = float(np.max(probabilities))
+    return ForkRateEstimate(
+        block_interval_ms=block_interval_ms,
+        mean_fork_probability=mean_probability,
+        worst_fork_probability=worst,
+        effective_throughput_fraction=1.0 - mean_probability,
+    )
+
+
+def fork_rate_improvement(
+    candidate_reach_ms: np.ndarray,
+    baseline_reach_ms: np.ndarray,
+    hash_power: np.ndarray | None = None,
+    block_interval_ms: float = BITCOIN_BLOCK_INTERVAL_MS,
+) -> float:
+    """Relative reduction in mean fork probability of a candidate topology.
+
+    Returns e.g. 0.3 when the candidate's expected fork rate is 30% lower than
+    the baseline's under the same block interval.
+    """
+    candidate = estimate_fork_rate(candidate_reach_ms, hash_power, block_interval_ms)
+    baseline = estimate_fork_rate(baseline_reach_ms, hash_power, block_interval_ms)
+    if baseline.mean_fork_probability <= 0:
+        return float("nan")
+    return 1.0 - candidate.mean_fork_probability / baseline.mean_fork_probability

@@ -1,0 +1,47 @@
+"""Neighbor-selection protocols.
+
+Baselines (Section 3 / Section 5.1):
+
+* :class:`repro.protocols.random_policy.RandomProtocol` — Bitcoin's default
+  random connection policy.
+* :class:`repro.protocols.geographic.GeographicProtocol` — half of the
+  connections to same-continent peers, half random.
+* :class:`repro.protocols.geometric.GeometricProtocol` — the threshold-latency
+  geometric graph of Section 3.3 (theoretical optimum family).
+* :class:`repro.protocols.kademlia.KademliaProtocol` — Kadcast-style
+  structured overlay.
+* :class:`repro.protocols.fully_connected.FullyConnectedProtocol` — the ideal
+  lower bound where every node is connected to every other node.
+
+Perigee variants (Section 4):
+
+* :class:`repro.protocols.perigee.vanilla.PerigeeVanillaProtocol`
+* :class:`repro.protocols.perigee.ucb.PerigeeUCBProtocol`
+* :class:`repro.protocols.perigee.subset.PerigeeSubsetProtocol`
+"""
+
+from repro.protocols.base import NeighborSelectionProtocol, ProtocolContext
+from repro.protocols.fully_connected import FullyConnectedProtocol
+from repro.protocols.geographic import GeographicProtocol
+from repro.protocols.geometric import GeometricProtocol
+from repro.protocols.kademlia import KademliaProtocol
+from repro.protocols.perigee.subset import PerigeeSubsetProtocol
+from repro.protocols.perigee.ucb import PerigeeUCBProtocol
+from repro.protocols.perigee.vanilla import PerigeeVanillaProtocol
+from repro.protocols.random_policy import RandomProtocol
+from repro.protocols.registry import available_protocols, make_protocol
+
+__all__ = [
+    "FullyConnectedProtocol",
+    "GeographicProtocol",
+    "GeometricProtocol",
+    "KademliaProtocol",
+    "NeighborSelectionProtocol",
+    "PerigeeSubsetProtocol",
+    "PerigeeUCBProtocol",
+    "PerigeeVanillaProtocol",
+    "ProtocolContext",
+    "RandomProtocol",
+    "available_protocols",
+    "make_protocol",
+]

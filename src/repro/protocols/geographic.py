@@ -1,0 +1,97 @@
+"""Geography-aware connection policy (Section 3.2).
+
+Nodes are clustered by the continent they are located in (inferred from their
+IP addresses in practice).  Each node assigns half of its outgoing connections
+to peers in its own cluster and the other half to peers outside the cluster,
+which restores the "last mile" connectivity the random topology lacks while
+still keeping long-range links for global reach.
+
+The split between in-cluster and out-of-cluster connections is configurable;
+the paper uses 50/50 and notes that the optimal balance is unclear — the
+ablation benchmark sweeps it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.core.network import P2PNetwork
+from repro.protocols.base import NeighborSelectionProtocol, ProtocolContext
+
+
+class GeographicProtocol(NeighborSelectionProtocol):
+    """Half in-continent, half random-out-of-continent connections.
+
+    Parameters
+    ----------
+    local_fraction:
+        Fraction of each node's outgoing slots devoted to same-region peers
+        (0.5 in the paper).
+    """
+
+    name = "geographic"
+
+    def __init__(self, local_fraction: float = 0.5) -> None:
+        if not 0.0 <= local_fraction <= 1.0:
+            raise ValueError("local_fraction must be within [0, 1]")
+        self._local_fraction = local_fraction
+
+    @property
+    def local_fraction(self) -> float:
+        return self._local_fraction
+
+    def build_topology(
+        self,
+        context: ProtocolContext,
+        network: P2PNetwork,
+        rng: np.random.Generator,
+    ) -> None:
+        regions = context.regions()
+        by_region: dict[str, list[int]] = defaultdict(list)
+        for node_id, region in enumerate(regions):
+            by_region[region].append(node_id)
+
+        num_local = int(round(network.out_degree * self._local_fraction))
+        order = rng.permutation(network.num_nodes)
+        for raw_id in order:
+            node_id = int(raw_id)
+            local_candidates = [
+                peer for peer in by_region[regions[node_id]] if peer != node_id
+            ]
+            self._connect_sample(network, node_id, local_candidates, num_local, rng)
+            # Remaining slots go to peers outside the node's region (falling
+            # back to any peer when the remote pool cannot fill them).
+            remote_candidates = [
+                peer
+                for peer in range(network.num_nodes)
+                if peer != node_id and regions[peer] != regions[node_id]
+            ]
+            remaining = network.outgoing_slots_free(node_id)
+            self._connect_sample(network, node_id, remote_candidates, remaining, rng)
+            network.fill_random_outgoing(node_id, rng)
+
+    @staticmethod
+    def _connect_sample(
+        network: P2PNetwork,
+        node_id: int,
+        candidates: list[int],
+        count: int,
+        rng: np.random.Generator,
+    ) -> None:
+        """Connect ``node_id`` to up to ``count`` random distinct candidates."""
+        if count <= 0 or not candidates:
+            return
+        shuffled = rng.permutation(len(candidates))
+        established = 0
+        for index in shuffled:
+            if established >= count:
+                break
+            if network.connect(node_id, candidates[int(index)]):
+                established += 1
+
+    def describe(self) -> dict[str, object]:
+        info = super().describe()
+        info["local_fraction"] = self._local_fraction
+        return info

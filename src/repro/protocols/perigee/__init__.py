@@ -1,0 +1,23 @@
+"""Perigee: adaptive neighbor selection driven by block arrival times.
+
+The three variants differ only in scoring (Section 4):
+
+* :class:`repro.protocols.perigee.vanilla.PerigeeVanillaProtocol` — per-neighbor
+  90th percentile of relative arrival times within one round.
+* :class:`repro.protocols.perigee.ucb.PerigeeUCBProtocol` — confidence-bound
+  driven eviction over a neighbor's whole connection history.
+* :class:`repro.protocols.perigee.subset.PerigeeSubsetProtocol` — greedy joint
+  selection of a complementary neighbor group (the paper's preferred variant).
+"""
+
+from repro.protocols.perigee.base import PerigeeBase
+from repro.protocols.perigee.subset import PerigeeSubsetProtocol
+from repro.protocols.perigee.ucb import PerigeeUCBProtocol
+from repro.protocols.perigee.vanilla import PerigeeVanillaProtocol
+
+__all__ = [
+    "PerigeeBase",
+    "PerigeeSubsetProtocol",
+    "PerigeeUCBProtocol",
+    "PerigeeVanillaProtocol",
+]

@@ -1,0 +1,138 @@
+"""Shared skeleton of the Perigee variants (Algorithm 1).
+
+Every variant follows the same per-round template for each node ``v``:
+
+1. normalise the round's observations (Equation 2);
+2. score the current *outgoing* neighbors ``Γ^o_v`` using the variant's
+   scoring method;
+3. retain the best ``d_v - e_v`` of them;
+4. connect to ``e_v`` random peers for exploration.
+
+The base class implements the template, the topology initialisation (an
+arbitrary random topology, as if obtained from a bootstrapping server) and the
+mechanics of retaining/replacing connections under the incoming-capacity
+limits.  Subclasses provide :meth:`select_retained`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.network import P2PNetwork
+from repro.core.observations import ObservationSet
+from repro.protocols.base import (
+    NeighborSelectionProtocol,
+    ProtocolContext,
+    random_initial_topology,
+)
+
+
+class PerigeeBase(NeighborSelectionProtocol):
+    """Common round-update skeleton for Perigee variants.
+
+    Parameters
+    ----------
+    exploration_peers:
+        Number of random exploration connections per round (``e_v``).  When
+        ``None`` the value from the simulation configuration is used.
+    percentile:
+        Percentile of the timestamp multiset used for scoring (90 in the
+        paper).
+    """
+
+    is_adaptive = True
+
+    def __init__(
+        self,
+        exploration_peers: int | None = None,
+        percentile: float = 90.0,
+    ) -> None:
+        if exploration_peers is not None and exploration_peers < 0:
+            raise ValueError("exploration_peers must be non-negative")
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError("percentile must be in (0, 100]")
+        self._exploration_peers = exploration_peers
+        self._percentile = percentile
+
+    @property
+    def percentile(self) -> float:
+        return self._percentile
+
+    def exploration_budget(self, context: ProtocolContext) -> int:
+        """Effective ``e_v`` for this run."""
+        if self._exploration_peers is not None:
+            return self._exploration_peers
+        return context.config.exploration_peers
+
+    # ------------------------------------------------------------------ #
+    # Topology initialisation
+    # ------------------------------------------------------------------ #
+    def build_topology(
+        self,
+        context: ProtocolContext,
+        network: P2PNetwork,
+        rng: np.random.Generator,
+    ) -> None:
+        random_initial_topology(network, rng)
+
+    # ------------------------------------------------------------------ #
+    # Round update (Algorithm 1)
+    # ------------------------------------------------------------------ #
+    def update(
+        self,
+        context: ProtocolContext,
+        network: P2PNetwork,
+        observations: dict[int, ObservationSet],
+        rng: np.random.Generator,
+    ) -> None:
+        exploration = self.exploration_budget(context)
+        order = rng.permutation(network.num_nodes)
+        for raw_id in order:
+            node_id = int(raw_id)
+            outgoing = network.outgoing_neighbors(node_id)
+            if not outgoing:
+                network.fill_random_outgoing(node_id, rng)
+                continue
+            node_observations = observations.get(
+                node_id, ObservationSet(node_id=node_id)
+            )
+            normalized = node_observations.normalized()
+            retain_budget = max(0, network.out_degree - exploration)
+            retained = self.select_retained(
+                node_id=node_id,
+                outgoing=set(outgoing),
+                observations=normalized,
+                retain_budget=retain_budget,
+                rng=rng,
+            )
+            retained = {peer for peer in retained if peer in outgoing}
+            self.on_neighbors_dropped(node_id, set(outgoing) - retained)
+            network.replace_outgoing(
+                node_id, retained, rng, num_random=network.out_degree - len(retained)
+            )
+
+    @abc.abstractmethod
+    def select_retained(
+        self,
+        node_id: int,
+        outgoing: set[int],
+        observations: ObservationSet,
+        retain_budget: int,
+        rng: np.random.Generator,
+    ) -> set[int]:
+        """Choose which outgoing neighbors to keep for the next round.
+
+        ``observations`` is already time-normalised.  Implementations return a
+        subset of ``outgoing`` of size at most ``retain_budget``.
+        """
+
+    def on_neighbors_dropped(self, node_id: int, dropped: set[int]) -> None:
+        """Hook for variants that keep per-neighbor history (UCB)."""
+
+    def describe(self) -> dict[str, object]:
+        info = super().describe()
+        info["percentile"] = self._percentile
+        info["exploration_peers"] = self._exploration_peers
+        return info

@@ -1,0 +1,144 @@
+"""Perigee-UCB (Section 4.2.2).
+
+VanillaScoring's per-round percentile estimates are noisy when few blocks are
+mined per round.  Perigee-UCB instead accumulates each neighbor's relative
+timestamps over its entire connection history and maintains upper and lower
+confidence bounds around the percentile estimate (Equations 3 and 4).  At the
+end of a round the node evicts the neighbor with the largest lower bound —
+but only when that lower bound exceeds the smallest upper bound among the
+other neighbors, i.e. only when the node is confident the neighbor really is
+the worst.  The evicted slot is refilled with a random peer.  Rounds are
+short (a single block per round in the paper's experiments), so decisions are
+frequent but conservative.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.core.observations import ObservationSet
+from repro.protocols.perigee.base import PerigeeBase
+from repro.protocols.scoring import (
+    DEFAULT_UCB_CONSTANT,
+    ucb_eviction_candidate,
+    ucb_scores,
+)
+
+
+class PerigeeUCBProtocol(PerigeeBase):
+    """Confidence-bound based eviction with per-neighbor history.
+
+    Parameters
+    ----------
+    exploration_constant:
+        The constant ``c`` of the confidence bounds; larger values make
+        evictions more conservative.
+    history_limit:
+        Maximum number of samples retained per neighbor (oldest samples are
+        discarded first).  Bounds memory for very long runs.
+    """
+
+    name = "perigee-ucb"
+
+    def __init__(
+        self,
+        exploration_peers: int | None = None,
+        percentile: float = 90.0,
+        exploration_constant: float = DEFAULT_UCB_CONSTANT,
+        history_limit: int = 2000,
+    ) -> None:
+        super().__init__(exploration_peers=exploration_peers, percentile=percentile)
+        if exploration_constant < 0:
+            raise ValueError("exploration_constant must be non-negative")
+        if history_limit < 1:
+            raise ValueError("history_limit must be positive")
+        self._exploration_constant = exploration_constant
+        self._history_limit = history_limit
+        # history[node][neighbor] -> accumulated finite relative timestamps.
+        self._history: dict[int, dict[int, list[float]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+
+    @property
+    def exploration_constant(self) -> float:
+        return self._exploration_constant
+
+    def exploration_budget(self, context) -> int:  # noqa: ANN001 - see base class
+        """UCB explores only by replacing the neighbor it evicts.
+
+        Unlike Vanilla and Subset scoring, which drop to ``d_v - e_v``
+        retained neighbors every round, the UCB rule of Section 4.2.2 keeps
+        the whole neighbor set unless it is confident one neighbor is the
+        worst, and replaces only that neighbor with a random peer.  The
+        exploration budget of Algorithm 1 is therefore not reserved up front.
+        """
+        if self._exploration_peers is not None:
+            return self._exploration_peers
+        return 0
+
+    def reset(self) -> None:
+        self._history = defaultdict(lambda: defaultdict(list))
+
+    def history_for(self, node_id: int) -> dict[int, list[float]]:
+        """Accumulated samples per neighbor for one node (copy, for tests)."""
+        return {
+            neighbor: list(samples)
+            for neighbor, samples in self._history[node_id].items()
+        }
+
+    def on_neighbors_dropped(self, node_id: int, dropped: set[int]) -> None:
+        """Forget the history of neighbors the node disconnected from.
+
+        The paper indexes history by "the past ``r_{u,v}`` rounds" a neighbor
+        has been connected, so a re-connected neighbor starts fresh.
+        """
+        for neighbor in dropped:
+            self._history[node_id].pop(neighbor, None)
+
+    def select_retained(
+        self,
+        node_id: int,
+        outgoing: set[int],
+        observations: ObservationSet,
+        retain_budget: int,
+        rng: np.random.Generator,
+    ) -> set[int]:
+        del rng
+        if retain_budget <= 0:
+            return set()
+        history = self._history[node_id]
+        # Fold the new round's observations into the per-neighbor history.
+        for neighbor in outgoing:
+            samples = observations.finite_relative_timestamps(neighbor)
+            if samples:
+                bucket = history[neighbor]
+                bucket.extend(float(value) for value in samples)
+                if len(bucket) > self._history_limit:
+                    del bucket[: len(bucket) - self._history_limit]
+            else:
+                history.setdefault(neighbor, [])
+        intervals = ucb_scores(
+            {neighbor: history.get(neighbor, []) for neighbor in outgoing},
+            percentile=self.percentile,
+            exploration_constant=self._exploration_constant,
+        )
+        evict = ucb_eviction_candidate(intervals)
+        retained = set(outgoing)
+        if evict is not None:
+            retained.discard(evict)
+        if len(retained) > retain_budget:
+            # Respect the retain budget by dropping the worst estimates.
+            ranked = sorted(
+                retained,
+                key=lambda peer: (intervals[peer].estimate, peer),
+            )
+            retained = set(ranked[:retain_budget])
+        return retained
+
+    def describe(self) -> dict[str, object]:
+        info = super().describe()
+        info["exploration_constant"] = self._exploration_constant
+        info["history_limit"] = self._history_limit
+        return info

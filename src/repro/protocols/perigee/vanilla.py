@@ -1,0 +1,36 @@
+"""Perigee-Vanilla (Section 4.2.1).
+
+Each outgoing neighbor is scored independently by the 90th percentile of the
+relative timestamps at which it delivered the round's blocks; the neighbors
+with the lowest scores are retained.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.observations import ObservationSet
+from repro.protocols.perigee.base import PerigeeBase
+from repro.protocols.scoring import vanilla_scores
+
+
+class PerigeeVanillaProtocol(PerigeeBase):
+    """Independent per-neighbor percentile scoring."""
+
+    name = "perigee-vanilla"
+
+    def select_retained(
+        self,
+        node_id: int,
+        outgoing: set[int],
+        observations: ObservationSet,
+        retain_budget: int,
+        rng: np.random.Generator,
+    ) -> set[int]:
+        del node_id, rng
+        if retain_budget <= 0:
+            return set()
+        scores = vanilla_scores(observations, outgoing, self.percentile)
+        # Lower score is better; ties are broken by node id for determinism.
+        ranked = sorted(outgoing, key=lambda peer: (scores[peer], peer))
+        return set(ranked[:retain_budget])

@@ -1,0 +1,88 @@
+"""Protocol registry: build protocols from their names.
+
+Experiments, the CLI and the benchmark harness refer to protocols by the
+names used in the paper's figures ("random", "geographic", "kademlia",
+"perigee-subset", ...).  The registry centralises the mapping so the full
+line-up of an experiment can be expressed as a list of strings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.protocols.base import NeighborSelectionProtocol
+from repro.protocols.fully_connected import FullyConnectedProtocol
+from repro.protocols.geographic import GeographicProtocol
+from repro.protocols.geometric import GeometricProtocol
+from repro.protocols.kademlia import KademliaProtocol
+from repro.protocols.perigee.subset import PerigeeSubsetProtocol
+from repro.protocols.perigee.ucb import PerigeeUCBProtocol
+from repro.protocols.perigee.vanilla import PerigeeVanillaProtocol
+from repro.protocols.random_policy import RandomProtocol
+
+_FACTORIES: dict[str, Callable[..., NeighborSelectionProtocol]] = {
+    "random": RandomProtocol,
+    "geographic": GeographicProtocol,
+    "geometric": GeometricProtocol,
+    "kademlia": KademliaProtocol,
+    "ideal": FullyConnectedProtocol,
+    "perigee-vanilla": PerigeeVanillaProtocol,
+    "perigee-ucb": PerigeeUCBProtocol,
+    "perigee-subset": PerigeeSubsetProtocol,
+}
+
+
+def available_protocols() -> list[str]:
+    """Names of all registered protocols, in a stable order."""
+    return list(_FACTORIES)
+
+
+def make_protocol(name: str, **kwargs: Any) -> NeighborSelectionProtocol:
+    """Instantiate a protocol by its registry name.
+
+    Keyword arguments are forwarded to the protocol's constructor, e.g.
+    ``make_protocol("geographic", local_fraction=0.75)``.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError as error:
+        raise KeyError(
+            f"unknown protocol {name!r}; available: {', '.join(_FACTORIES)}"
+        ) from error
+    return factory(**kwargs)
+
+
+def register_protocol(
+    name: str, factory: Callable[..., NeighborSelectionProtocol]
+) -> None:
+    """Register a custom protocol factory under ``name``.
+
+    Intended for downstream users experimenting with their own scoring rules;
+    see ``examples/custom_protocol.py``.
+    """
+    if not name:
+        raise ValueError("protocol name must be non-empty")
+    if name in _FACTORIES:
+        raise ValueError(f"protocol {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def unregister_protocol(name: str) -> None:
+    """Remove a previously registered custom protocol.
+
+    Built-in protocol names cannot be unregistered and raise ``ValueError``;
+    unknown custom names are silently ignored.
+    """
+    builtins = {
+        "random",
+        "geographic",
+        "geometric",
+        "kademlia",
+        "ideal",
+        "perigee-vanilla",
+        "perigee-ucb",
+        "perigee-subset",
+    }
+    if name in builtins:
+        raise ValueError(f"cannot unregister built-in protocol {name!r}")
+    _FACTORIES.pop(name, None)

@@ -1,0 +1,235 @@
+"""Neighbor scoring functions (Sections 4.2 and 4.3).
+
+All Perigee variants share the same skeleton (Algorithm 1) and differ only in
+how they turn a node's observation set into scores.  The three scoring
+methods live here as standalone, unit-testable functions:
+
+* :func:`vanilla_scores` — the 90th percentile of each neighbor's relative
+  delivery timestamps within a round (Section 4.2.1).
+* :func:`ucb_scores` — percentile estimates plus upper/lower confidence
+  bounds computed over a neighbor's whole connection history
+  (Section 4.2.2, Equations 3 and 4).
+* :func:`greedy_subset_selection` — the greedy complement-aware group
+  selection of Section 4.3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.observations import NEVER, ObservationSet, percentile_score
+
+#: Percentile used throughout the paper's scoring functions.
+SCORE_PERCENTILE = 90.0
+
+#: Default exploration constant ``c`` of the UCB confidence bounds.
+DEFAULT_UCB_CONSTANT = 60.0
+
+
+def vanilla_scores(
+    observations: ObservationSet,
+    neighbors: set[int] | frozenset[int],
+    percentile: float = SCORE_PERCENTILE,
+) -> dict[int, float]:
+    """Per-neighbor VanillaScoring scores (lower is better).
+
+    ``observations`` must already be time-normalised (Equation 2); the Perigee
+    protocols normalise before calling.  Neighbors with no observations score
+    infinity.
+    """
+    scores: dict[int, float] = {}
+    for neighbor in neighbors:
+        timestamps = observations.relative_timestamps(neighbor)
+        scores[neighbor] = percentile_score(timestamps, percentile)
+    return scores
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """UCB scoring output for one neighbor (Equations 3 and 4)."""
+
+    estimate: float
+    lower: float
+    upper: float
+    samples: int
+
+    def __post_init__(self) -> None:
+        if self.samples < 0:
+            raise ValueError("samples must be non-negative")
+        if (
+            math.isfinite(self.lower)
+            and math.isfinite(self.upper)
+            and self.lower > self.upper + 1e-9
+        ):
+            raise ValueError("lower bound cannot exceed upper bound")
+
+
+def confidence_interval(
+    samples: list[float] | np.ndarray,
+    percentile: float = SCORE_PERCENTILE,
+    exploration_constant: float = DEFAULT_UCB_CONSTANT,
+) -> ConfidenceInterval:
+    """Percentile estimate with UCB-style confidence bounds.
+
+    Follows Equations (3) and (4): the half-width is
+    ``c * sqrt(log(m) / (2 m))`` where ``m`` is the number of finite samples.
+    With no finite samples the estimate and both bounds are infinite, which
+    makes a silent neighbor the most eviction-worthy candidate.
+    """
+    finite = [t for t in samples if math.isfinite(t)]
+    if not finite:
+        return ConfidenceInterval(
+            estimate=NEVER, lower=NEVER, upper=NEVER, samples=0
+        )
+    estimate = float(np.percentile(np.asarray(finite, dtype=float), percentile))
+    m = len(finite)
+    if m >= 2:
+        half_width = exploration_constant * math.sqrt(math.log(m) / (2.0 * m))
+    else:
+        # A single sample carries essentially no information; use a very wide
+        # interval so one lucky/unlucky block cannot trigger an eviction.
+        half_width = exploration_constant * math.sqrt(math.log(2.0) / 2.0) * 4.0
+    return ConfidenceInterval(
+        estimate=estimate,
+        lower=estimate - half_width,
+        upper=estimate + half_width,
+        samples=m,
+    )
+
+
+def ucb_scores(
+    history: dict[int, list[float]],
+    percentile: float = SCORE_PERCENTILE,
+    exploration_constant: float = DEFAULT_UCB_CONSTANT,
+) -> dict[int, ConfidenceInterval]:
+    """Confidence intervals for every neighbor given its sample history.
+
+    ``history`` maps each neighbor to the multiset of finite relative
+    timestamps accumulated over the rounds it has been connected
+    (``≈T_{u,v}`` in the paper).
+    """
+    return {
+        neighbor: confidence_interval(samples, percentile, exploration_constant)
+        for neighbor, samples in history.items()
+    }
+
+
+def ucb_eviction_candidate(
+    intervals: dict[int, ConfidenceInterval]
+) -> int | None:
+    """The neighbor to evict under UCBScoring, or ``None`` to keep everyone.
+
+    A neighbor is evicted when ``max_u lcb(u) > min_u ucb(u)``: some
+    neighbor's optimistic bound is still worse than another neighbor's
+    pessimistic bound, so we are confident it is the worst.  The evicted
+    neighbor is ``argmax lcb``.
+    """
+    if len(intervals) < 2:
+        return None
+    worst_neighbor = None
+    worst_lower = -math.inf
+    best_upper = math.inf
+    for neighbor in sorted(intervals):
+        interval = intervals[neighbor]
+        if interval.lower > worst_lower:
+            worst_lower = interval.lower
+            worst_neighbor = neighbor
+        best_upper = min(best_upper, interval.upper)
+    if worst_neighbor is not None and worst_lower > best_upper:
+        return worst_neighbor
+    return None
+
+
+def greedy_subset_selection(
+    observations: ObservationSet,
+    neighbors: set[int] | frozenset[int],
+    subset_size: int,
+    percentile: float = SCORE_PERCENTILE,
+) -> list[int]:
+    """SubsetScoring's greedy complement-aware neighbor selection (Section 4.3).
+
+    The first neighbor picked is the one with the best individual percentile
+    score.  Each subsequent pick minimises the percentile of the *transformed*
+    timestamps ``min(t̃_{u,v}, min_{i<=k} t̃_{u_i,v})`` — i.e. a neighbor is
+    only credited for blocks it would deliver faster than the group selected
+    so far, so picks complement each other rather than duplicating coverage of
+    the same fast region.
+
+    Returns the selected neighbors in pick order (length ``<= subset_size``).
+    """
+    if subset_size < 0:
+        raise ValueError("subset_size must be non-negative")
+    remaining = {int(neighbor) for neighbor in neighbors}
+    if subset_size == 0 or not remaining:
+        return []
+    block_ids = observations.block_ids
+    # Cache the per-neighbor timestamp vectors aligned on block_ids.
+    per_block = [observations.timestamps_for_block(block_id) for block_id in block_ids]
+    timestamps: dict[int, np.ndarray] = {
+        neighbor: np.array(
+            [deliveries.get(neighbor, NEVER) for deliveries in per_block],
+            dtype=float,
+        )
+        for neighbor in remaining
+    }
+    selected: list[int] = []
+    # Running elementwise minimum over the already-selected neighbors.
+    group_best = np.full(len(block_ids), NEVER, dtype=float)
+    while remaining and len(selected) < subset_size:
+        best_neighbor = None
+        best_score = math.inf
+        best_transformed = None
+        for neighbor in sorted(remaining):
+            transformed = np.minimum(timestamps[neighbor], group_best)
+            score = percentile_score(transformed, percentile)
+            if score < best_score:
+                best_score = score
+                best_neighbor = neighbor
+                best_transformed = transformed
+        if best_neighbor is None:
+            # Every remaining neighbor has an infinite score (e.g. none of
+            # them delivered enough blocks).  Fall back to picking the one
+            # with the smallest finite-sample mean so the group still fills up
+            # deterministically.
+            best_neighbor = min(
+                sorted(remaining),
+                key=lambda peer: _finite_mean(timestamps[peer]),
+            )
+            best_transformed = np.minimum(timestamps[best_neighbor], group_best)
+        selected.append(best_neighbor)
+        remaining.discard(best_neighbor)
+        group_best = best_transformed
+    return selected
+
+
+def _finite_mean(values: np.ndarray) -> float:
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return math.inf
+    return float(finite.mean())
+
+
+def group_score(
+    observations: ObservationSet,
+    group: list[int] | set[int],
+    percentile: float = SCORE_PERCENTILE,
+) -> float:
+    """Joint score of a neighbor group: the percentile of per-block best delivery.
+
+    This is the quantity SubsetScoring approximately optimises — the maximum
+    delay taken by the group as a whole to forward 90% of blocks.
+    """
+    members = sorted({int(member) for member in group})
+    if not members:
+        return NEVER
+    values = []
+    for block_id in observations.block_ids:
+        deliveries = observations.timestamps_for_block(block_id)
+        best = min(
+            (deliveries.get(member, NEVER) for member in members), default=NEVER
+        )
+        values.append(best)
+    return percentile_score(values, percentile)

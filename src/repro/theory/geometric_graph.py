@@ -1,0 +1,156 @@
+"""Theorem 2 and Figure 1: geometric graphs have constant stretch.
+
+A geometric graph connects two embedded nodes whenever their distance is below
+the threshold ``r = Θ((log n / n)^{1/d})``.  Theorem 2 (Friedrich, Sauerwald &
+Stauffer) states that for well-separated pairs in the same connected
+component, the shortest-path distance is within a constant factor ``ξ`` of the
+direct Euclidean distance.  Figure 1 of the paper illustrates the contrast
+with the random topology on 1000 points in the unit square: the random
+topology's path between opposite corners meanders, while the geometric
+graph's path hugs the geodesic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.latency.metric_space import MetricSpaceLatencyModel
+from repro.theory.random_graph import random_graph_edges
+from repro.theory.stretch import (
+    StretchStatistics,
+    pairwise_stretch,
+    shortest_path_latencies,
+    stretch_statistics,
+)
+
+
+def geometric_graph_edges(
+    model: MetricSpaceLatencyModel, threshold: float | None = None
+) -> np.ndarray:
+    """Edge set of the threshold geometric graph over an embedding.
+
+    ``threshold`` is in unscaled hypercube units; the Theorem 2 default
+    ``2 (log n / n)^{1/d}`` is used when omitted.
+    """
+    if threshold is None:
+        threshold = model.geometric_threshold()
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    distances = model.as_matrix() / model.scale_ms
+    upper = np.triu_indices(model.num_nodes, k=1)
+    mask = distances[upper] <= threshold
+    return np.column_stack([upper[0][mask], upper[1][mask]])
+
+
+def geometric_stretch_experiment(
+    sizes: list[int],
+    dimension: int = 2,
+    num_pairs: int = 200,
+    seed: int = 0,
+    threshold_constant: float = 2.0,
+) -> dict[int, StretchStatistics]:
+    """Stretch statistics of geometric graphs for a range of sizes.
+
+    Under Theorem 2 the median stretch should stay bounded (approximately
+    constant) as ``n`` grows, in contrast with the random graph of Theorem 1.
+    """
+    if not sizes:
+        raise ValueError("sizes must be non-empty")
+    results: dict[int, StretchStatistics] = {}
+    for index, n in enumerate(sizes):
+        rng = np.random.default_rng(seed + index)
+        model = MetricSpaceLatencyModel(
+            num_nodes=n, dimension=dimension, rng=rng, scale_ms=1.0
+        )
+        threshold = model.geometric_threshold(threshold_constant)
+        edges = geometric_graph_edges(model, threshold)
+        stretches = pairwise_stretch(model, edges, num_pairs, rng, min_distance=0.25)
+        results[n] = stretch_statistics(stretches)
+    return results
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    """Outcome of the Figure 1 corner-to-corner comparison.
+
+    Attributes
+    ----------
+    corner_a / corner_b:
+        Node ids of the points closest to the bottom-left and top-right
+        corners of the unit square.
+    direct_distance:
+        Euclidean distance between the two corner nodes.
+    random_path_length / geometric_path_length:
+        Shortest-path length between the corners on the two topologies
+        (``inf`` when disconnected).
+    random_stretch_stats / geometric_stretch_stats:
+        Stretch statistics over random well-separated pairs on each topology.
+    """
+
+    corner_a: int
+    corner_b: int
+    direct_distance: float
+    random_path_length: float
+    geometric_path_length: float
+    random_stretch_stats: StretchStatistics
+    geometric_stretch_stats: StretchStatistics
+
+    @property
+    def random_stretch(self) -> float:
+        return self.random_path_length / self.direct_distance
+
+    @property
+    def geometric_stretch(self) -> float:
+        return self.geometric_path_length / self.direct_distance
+
+
+def figure1_comparison(
+    num_nodes: int = 1000,
+    links_per_node: int = 3,
+    seed: int = 0,
+    num_pairs: int = 200,
+) -> Figure1Result:
+    """Reproduce the Figure 1 comparison on the unit square.
+
+    1000 points are embedded uniformly in ``[0,1]^2``; the random topology
+    gives each node ``links_per_node`` random links (average degree
+    ``2 * links_per_node``), the geometric topology uses the Theorem 2
+    threshold.  The function reports the corner-to-corner path lengths and the
+    stretch distributions of both topologies.
+    """
+    rng = np.random.default_rng(seed)
+    model = MetricSpaceLatencyModel(
+        num_nodes=num_nodes, dimension=2, rng=rng, scale_ms=1.0
+    )
+    positions = model.positions
+    corner_a = int(np.argmin(np.linalg.norm(positions - np.array([0.0, 0.0]), axis=1)))
+    corner_b = int(np.argmin(np.linalg.norm(positions - np.array([1.0, 1.0]), axis=1)))
+    direct = float(np.linalg.norm(positions[corner_a] - positions[corner_b]))
+
+    random_edges = random_graph_edges(
+        num_nodes, rng, average_degree=float(2 * links_per_node)
+    )
+    geometric_edges = geometric_graph_edges(model)
+
+    random_paths = shortest_path_latencies(model, random_edges, np.array([corner_a]))[0]
+    geometric_paths = shortest_path_latencies(
+        model, geometric_edges, np.array([corner_a])
+    )[0]
+
+    random_stretches = pairwise_stretch(
+        model, random_edges, num_pairs, rng, min_distance=0.25
+    )
+    geometric_stretches = pairwise_stretch(
+        model, geometric_edges, num_pairs, rng, min_distance=0.25
+    )
+    return Figure1Result(
+        corner_a=corner_a,
+        corner_b=corner_b,
+        direct_distance=direct,
+        random_path_length=float(random_paths[corner_b]),
+        geometric_path_length=float(geometric_paths[corner_b]),
+        random_stretch_stats=stretch_statistics(random_stretches),
+        geometric_stretch_stats=stretch_statistics(geometric_stretches),
+    )

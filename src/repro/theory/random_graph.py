@@ -1,0 +1,68 @@
+"""Theorem 1: random connections over a random embedding are suboptimal.
+
+The theorem (Frieze & Pegden) states that when ``n`` nodes are embedded
+uniformly at random in the ``d``-dimensional hypercube and connected by an
+Erdős–Rényi graph with average degree ``Θ(log n)``, the shortest-path latency
+between typical pairs exceeds their direct distance by a factor that grows
+polylogarithmically in ``n``.  This module samples that construction and
+measures stretch as a function of ``n``, allowing the growth to be verified
+empirically (the benchmark prints the stretch series; the tests check
+monotone growth over a wide range of ``n``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.latency.metric_space import MetricSpaceLatencyModel
+from repro.theory.stretch import StretchStatistics, pairwise_stretch, stretch_statistics
+
+
+def random_graph_edges(
+    num_nodes: int,
+    rng: np.random.Generator,
+    average_degree: float | None = None,
+) -> np.ndarray:
+    """Erdős–Rényi edge set with the theorem's ``p ≈ c log n / n`` density.
+
+    When ``average_degree`` is omitted it defaults to ``log n`` (the regime of
+    Theorem 1); otherwise ``p = average_degree / (n - 1)``.
+    """
+    if num_nodes < 2:
+        raise ValueError("num_nodes must be at least 2")
+    if average_degree is None:
+        average_degree = float(np.log(num_nodes))
+    if average_degree <= 0:
+        raise ValueError("average_degree must be positive")
+    p = min(1.0, average_degree / (num_nodes - 1))
+    upper = np.triu_indices(num_nodes, k=1)
+    mask = rng.random(upper[0].size) < p
+    return np.column_stack([upper[0][mask], upper[1][mask]])
+
+
+def random_graph_stretch_experiment(
+    sizes: list[int],
+    dimension: int = 2,
+    num_pairs: int = 200,
+    seed: int = 0,
+    average_degree: float | None = None,
+) -> dict[int, StretchStatistics]:
+    """Stretch statistics of random embedded graphs for a range of sizes.
+
+    Returns a mapping ``n -> StretchStatistics``; under Theorem 1 the median
+    stretch should grow as ``n`` grows (roughly like a power of ``log n``).
+    """
+    if not sizes:
+        raise ValueError("sizes must be non-empty")
+    results: dict[int, StretchStatistics] = {}
+    for index, n in enumerate(sizes):
+        rng = np.random.default_rng(seed + index)
+        model = MetricSpaceLatencyModel(
+            num_nodes=n, dimension=dimension, rng=rng, scale_ms=1.0
+        )
+        edges = random_graph_edges(n, rng, average_degree)
+        # Only consider well-separated pairs, as in the theorem statement.
+        min_distance = 0.25
+        stretches = pairwise_stretch(model, edges, num_pairs, rng, min_distance)
+        results[n] = stretch_statistics(stretches)
+    return results

@@ -1,0 +1,140 @@
+"""Path-stretch computations on embedded graphs.
+
+The *stretch* of a node pair is the ratio between the shortest-path latency on
+the overlay (sum of edge latencies along the best path) and the direct
+point-to-point latency between the pair (their distance in the embedding).
+Theorem 1 says stretch grows with ``log n`` on random graphs; Theorem 2 says
+it stays bounded by a constant on geometric graphs.  These helpers compute
+stretch distributions for arbitrary edge sets over a metric-space embedding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from repro.latency.metric_space import MetricSpaceLatencyModel
+
+
+def shortest_path_latencies(
+    model: MetricSpaceLatencyModel,
+    edges: np.ndarray,
+    sources: np.ndarray | None = None,
+) -> np.ndarray:
+    """Shortest-path latency matrix over a given undirected edge set.
+
+    Parameters
+    ----------
+    model:
+        The metric-space embedding supplying per-edge latencies.
+    edges:
+        ``(E, 2)`` array of undirected edges.
+    sources:
+        Optional subset of source nodes; all nodes when omitted.
+
+    Returns the ``(len(sources), n)`` matrix of path latencies (``inf`` for
+    unreachable pairs).
+    """
+    n = model.num_nodes
+    edges = np.asarray(edges, dtype=int)
+    if edges.size == 0:
+        weights_graph = csr_matrix((n, n), dtype=float)
+    else:
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError("edges must have shape (E, 2)")
+        matrix = model.as_matrix()
+        u, v = edges[:, 0], edges[:, 1]
+        weights = matrix[u, v]
+        rows = np.concatenate([u, v])
+        cols = np.concatenate([v, u])
+        data = np.concatenate([weights, weights])
+        weights_graph = csr_matrix((data, (rows, cols)), shape=(n, n))
+    if sources is None:
+        return dijkstra(weights_graph, directed=False)
+    sources = np.asarray(sources, dtype=int)
+    return np.atleast_2d(dijkstra(weights_graph, directed=False, indices=sources))
+
+
+def pairwise_stretch(
+    model: MetricSpaceLatencyModel,
+    edges: np.ndarray,
+    num_pairs: int,
+    rng: np.random.Generator,
+    min_distance: float = 0.0,
+) -> np.ndarray:
+    """Stretch of randomly sampled node pairs.
+
+    Pairs whose direct distance is below ``min_distance`` (in unscaled
+    hypercube units) are rejected, since stretch is numerically meaningless
+    for nearly coincident points (and both theorems are statements about
+    well-separated pairs).
+    """
+    if num_pairs < 1:
+        raise ValueError("num_pairs must be positive")
+    n = model.num_nodes
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    direct = model.as_matrix()
+    stretches = []
+    attempts = 0
+    max_attempts = 50 * num_pairs
+    cache: dict[int, np.ndarray] = {}
+    while len(stretches) < num_pairs and attempts < max_attempts:
+        attempts += 1
+        a = int(rng.integers(0, n))
+        b = int(rng.integers(0, n))
+        if a == b:
+            continue
+        if direct[a, b] < min_distance * model.scale_ms:
+            continue
+        if a not in cache:
+            cache[a] = shortest_path_latencies(model, edges, np.array([a]))[0]
+        path = cache[a][b]
+        if not np.isfinite(path):
+            continue
+        stretches.append(path / direct[a, b])
+    return np.asarray(stretches, dtype=float)
+
+
+@dataclass(frozen=True)
+class StretchStatistics:
+    """Summary of a stretch distribution."""
+
+    mean: float
+    median: float
+    p90: float
+    maximum: float
+    num_pairs: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "mean": self.mean,
+            "median": self.median,
+            "p90": self.p90,
+            "max": self.maximum,
+            "num_pairs": float(self.num_pairs),
+        }
+
+
+def stretch_statistics(stretches: np.ndarray) -> StretchStatistics:
+    """Summarise a stretch sample (empty samples yield NaN statistics)."""
+    values = np.asarray(stretches, dtype=float)
+    values = values[np.isfinite(values)]
+    if values.size == 0:
+        return StretchStatistics(
+            mean=float("nan"),
+            median=float("nan"),
+            p90=float("nan"),
+            maximum=float("nan"),
+            num_pairs=0,
+        )
+    return StretchStatistics(
+        mean=float(values.mean()),
+        median=float(np.median(values)),
+        p90=float(np.percentile(values, 90)),
+        maximum=float(values.max()),
+        num_pairs=int(values.size),
+    )

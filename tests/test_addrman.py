@@ -1,0 +1,114 @@
+"""Tests for the address manager (limited peer knowledge substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.core.addrman import AddressManager
+from repro.core.network import P2PNetwork
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1)
+
+
+class TestConstruction:
+    def test_bootstrap_sample_sizes(self, rng):
+        manager = AddressManager(50, capacity=20, rng=rng, bootstrap_size=10)
+        for node_id in range(50):
+            known = manager.known_addresses(node_id)
+            assert len(known) == 10
+            assert node_id not in known
+
+    def test_bootstrap_defaults_to_half_capacity(self, rng):
+        manager = AddressManager(30, capacity=16, rng=rng)
+        assert len(manager.known_addresses(0)) == 8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 1},
+            {"num_nodes": 10, "capacity": 0},
+            {"num_nodes": 10, "bootstrap_size": 0},
+        ],
+    )
+    def test_invalid_construction(self, rng, kwargs):
+        with pytest.raises(ValueError):
+            AddressManager(rng=rng, **kwargs)
+
+
+class TestBookMaintenance:
+    def test_add_and_remove(self, rng):
+        manager = AddressManager(20, capacity=5, rng=rng, bootstrap_size=1)
+        manager.add_address(0, 7, rng)
+        assert manager.knows(0, 7)
+        manager.remove_address(0, 7)
+        assert not manager.knows(0, 7)
+
+    def test_capacity_enforced_by_random_eviction(self, rng):
+        manager = AddressManager(40, capacity=5, rng=rng, bootstrap_size=5)
+        for peer in range(1, 20):
+            manager.add_address(0, peer, rng)
+        assert len(manager.known_addresses(0)) <= 5
+
+    def test_self_address_never_added(self, rng):
+        manager = AddressManager(10, capacity=5, rng=rng, bootstrap_size=2)
+        manager.add_address(3, 3, rng)
+        assert not manager.knows(3, 3)
+
+    def test_remove_everywhere(self, rng):
+        manager = AddressManager(15, capacity=10, rng=rng, bootstrap_size=8)
+        manager.remove_everywhere(4)
+        for node_id in range(15):
+            assert not manager.knows(node_id, 4)
+
+    def test_out_of_range_rejected(self, rng):
+        manager = AddressManager(10, rng=rng)
+        with pytest.raises(IndexError):
+            manager.known_addresses(10)
+        with pytest.raises(IndexError):
+            manager.add_address(0, 99, rng)
+
+
+class TestGossipAndSampling:
+    def test_gossip_learns_neighbors_and_their_contacts(self, rng):
+        num_nodes = 30
+        manager = AddressManager(num_nodes, capacity=25, rng=rng, bootstrap_size=3)
+        network = P2PNetwork(num_nodes, out_degree=4, max_incoming=10)
+        for node_id in range(num_nodes):
+            network.fill_random_outgoing(node_id, rng)
+        before = manager.coverage()
+        manager.gossip_round(network, rng)
+        after = manager.coverage()
+        assert after > before
+        # Every node now knows each of its direct neighbors.
+        for node_id in range(num_nodes):
+            for neighbor in network.neighbors(node_id):
+                assert manager.knows(node_id, neighbor)
+
+    def test_gossip_rejects_mismatched_network(self, rng):
+        manager = AddressManager(10, rng=rng)
+        network = P2PNetwork(12, out_degree=2, max_incoming=4)
+        with pytest.raises(ValueError):
+            manager.gossip_round(network, rng)
+        with pytest.raises(ValueError):
+            manager.gossip_round(P2PNetwork(10, 2, 4), rng, addresses_per_neighbor=0)
+
+    def test_sample_candidates_respects_exclusions(self, rng):
+        manager = AddressManager(20, capacity=19, rng=rng, bootstrap_size=19)
+        known = manager.known_addresses(0)
+        exclude = set(list(known)[:5])
+        sample = manager.sample_candidates(0, rng, count=30, exclude=exclude)
+        assert set(sample).isdisjoint(exclude)
+        assert 0 not in sample
+        assert len(sample) <= len(known) - len(exclude & known)
+
+    def test_sample_candidates_count_zero(self, rng):
+        manager = AddressManager(10, rng=rng)
+        assert manager.sample_candidates(0, rng, count=0) == []
+        with pytest.raises(ValueError):
+            manager.sample_candidates(0, rng, count=-1)
+
+    def test_coverage_bounds(self, rng):
+        manager = AddressManager(25, capacity=30, rng=rng, bootstrap_size=12)
+        assert 0.0 < manager.coverage() <= 1.0

@@ -1,0 +1,98 @@
+"""Tests for the bandwidth-heterogeneity and scaling studies."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bandwidth import (
+    BandwidthExperimentResult,
+    run_bandwidth_experiment,
+)
+from repro.analysis.scaling import measure_point, rounds_scaling, size_scaling
+
+
+class TestBandwidthExperiment:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_bandwidth_experiment(
+            num_nodes=100,
+            slow_fraction=0.2,
+            rounds=8,
+            blocks_per_round=30,
+            seed=0,
+        )
+
+    def test_both_protocols_reported(self, results):
+        assert set(results) == {"random", "perigee-subset"}
+        for outcome in results.values():
+            assert np.isfinite(outcome.median_delay_ms)
+            assert outcome.slow_node_fraction == pytest.approx(0.2)
+
+    def test_perigee_beats_random_under_bandwidth_heterogeneity(self, results):
+        assert (
+            results["perigee-subset"].median_delay_ms
+            < results["random"].median_delay_ms
+        )
+
+    def test_perigee_avoids_slow_uplink_peers(self, results):
+        # Random connects to slow nodes at roughly their population rate;
+        # Perigee under-selects them.
+        assert results["random"].avoidance == pytest.approx(1.0, abs=0.35)
+        assert (
+            results["perigee-subset"].slow_node_outgoing_share
+            < results["random"].slow_node_outgoing_share
+        )
+        assert results["perigee-subset"].avoidance < 0.85
+
+    def test_result_avoidance_handles_zero_fraction(self):
+        outcome = BandwidthExperimentResult(
+            protocol="x",
+            median_delay_ms=1.0,
+            slow_node_outgoing_share=0.0,
+            slow_node_fraction=0.0,
+        )
+        assert np.isnan(outcome.avoidance)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"slow_fraction": 0.0},
+            {"slow_fraction": 1.0},
+            {"slow_mbps": 0.0},
+            {"slow_mbps": 50.0, "fast_mbps": 10.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            run_bandwidth_experiment(num_nodes=40, rounds=1, **kwargs)
+
+
+class TestScalingStudies:
+    def test_measure_point_reports_both_protocols(self):
+        point = measure_point(num_nodes=80, rounds=4, blocks_per_round=20, seed=1)
+        assert point.num_nodes == 80
+        assert np.isfinite(point.random_median_ms)
+        assert np.isfinite(point.perigee_median_ms)
+        assert -1.0 < point.improvement < 1.0
+
+    def test_rounds_scaling_improvement_grows(self):
+        points = rounds_scaling(
+            rounds_grid=(2, 10), num_nodes=120, blocks_per_round=30, seed=0
+        )
+        assert [p.rounds for p in points] == [2, 10]
+        # All points share the same random baseline.
+        assert points[0].random_median_ms == pytest.approx(points[1].random_median_ms)
+        assert points[1].improvement >= points[0].improvement - 0.02
+
+    def test_size_scaling_returns_sorted_sizes(self):
+        points = size_scaling(sizes=(60, 120), rounds=4, blocks_per_round=20, seed=2)
+        assert [p.num_nodes for p in points] == [60, 120]
+        for point in points:
+            assert np.isfinite(point.improvement)
+
+    def test_invalid_grids_rejected(self):
+        with pytest.raises(ValueError):
+            rounds_scaling(rounds_grid=())
+        with pytest.raises(ValueError):
+            rounds_scaling(rounds_grid=(0,))
+        with pytest.raises(ValueError):
+            size_scaling(sizes=())

@@ -1,0 +1,120 @@
+"""Tests for the synthetic Bitnodes-like population generator."""
+
+import numpy as np
+import pytest
+
+from repro.config import default_config
+from repro.datasets.bitnodes import (
+    generate_population,
+    sample_regions,
+    sample_validation_delays,
+)
+from repro.datasets.regions import REGIONS
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestSampling:
+    def test_sample_regions_valid_names(self, rng):
+        regions = sample_regions(200, rng)
+        assert len(regions) == 200
+        assert set(regions) <= set(REGIONS)
+
+    def test_sample_regions_respects_mix(self, rng):
+        regions = sample_regions(5000, rng)
+        europe = regions.count("europe") / len(regions)
+        africa = regions.count("africa") / len(regions)
+        assert europe > 0.3
+        assert africa < 0.05
+
+    def test_sample_regions_rejects_zero(self, rng):
+        with pytest.raises(ValueError):
+            sample_regions(0, rng)
+
+    def test_validation_delays_deterministic_without_jitter(self, rng):
+        delays = sample_validation_delays(50, 50.0, 0.0, rng)
+        assert np.allclose(delays, 50.0)
+
+    def test_validation_delays_with_jitter_have_requested_mean(self, rng):
+        delays = sample_validation_delays(20000, 50.0, 0.4, rng)
+        assert delays.mean() == pytest.approx(50.0, rel=0.05)
+        assert delays.std() > 0
+
+    def test_validation_delays_reject_negative_inputs(self, rng):
+        with pytest.raises(ValueError):
+            sample_validation_delays(10, -1.0, 0.0, rng)
+        with pytest.raises(ValueError):
+            sample_validation_delays(10, 50.0, -0.1, rng)
+
+
+class TestGeneratePopulation:
+    def test_population_size_and_normalisation(self, rng):
+        config = default_config(num_nodes=80)
+        population = generate_population(config, rng)
+        assert len(population) == 80
+        assert population.hash_power.sum() == pytest.approx(1.0)
+        assert population.validation_delays.shape == (80,)
+
+    def test_node_ids_are_dense(self, rng):
+        config = default_config(num_nodes=30)
+        population = generate_population(config, rng)
+        assert [node.node_id for node in population] == list(range(30))
+
+    def test_deterministic_given_seed(self):
+        config = default_config(num_nodes=60, seed=42)
+        population_a = generate_population(config)
+        population_b = generate_population(config)
+        assert population_a.regions == population_b.regions
+        assert np.allclose(population_a.hash_power, population_b.hash_power)
+
+    def test_concentrated_distribution_records_miners(self, rng):
+        config = default_config(
+            num_nodes=100, hash_power_distribution="concentrated"
+        )
+        population = generate_population(config, rng)
+        assert len(population.high_power_miners) == 10
+        miner_power = population.hash_power[list(population.high_power_miners)].sum()
+        assert miner_power == pytest.approx(0.9, rel=0.01)
+
+    def test_region_counts_cover_population(self, rng):
+        config = default_config(num_nodes=120)
+        population = generate_population(config, rng)
+        assert sum(population.region_counts().values()) == 120
+
+
+class TestPopulationTransforms:
+    def test_with_validation_scale(self, rng):
+        config = default_config(num_nodes=40)
+        population = generate_population(config, rng)
+        scaled = population.with_validation_scale(0.1)
+        assert np.allclose(
+            scaled.validation_delays, population.validation_delays * 0.1
+        )
+        # original untouched
+        assert np.allclose(population.validation_delays, 50.0)
+
+    def test_with_validation_scale_rejects_negative(self, rng):
+        config = default_config(num_nodes=10)
+        population = generate_population(config, rng)
+        with pytest.raises(ValueError):
+            population.with_validation_scale(-1.0)
+
+    def test_with_relay_members_flags_and_scales(self, rng):
+        config = default_config(num_nodes=50)
+        population = generate_population(config, rng)
+        members = (1, 5, 9)
+        relayed = population.with_relay_members(members, validation_scale=0.1)
+        for node_id in members:
+            assert relayed[node_id].is_relay
+            assert relayed[node_id].validation_delay_ms == pytest.approx(5.0)
+        assert not relayed[0].is_relay
+        assert relayed[0].validation_delay_ms == pytest.approx(50.0)
+
+    def test_with_relay_members_rejects_negative_scale(self, rng):
+        config = default_config(num_nodes=10)
+        population = generate_population(config, rng)
+        with pytest.raises(ValueError):
+            population.with_relay_members((0,), validation_scale=-0.5)

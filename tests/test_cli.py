@@ -1,0 +1,45 @@
+"""Tests for the command line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "figure3a" in output
+        assert "figure5" in output
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "perigee-sim" in capsys.readouterr().out
+
+    def test_parser_has_experiment_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure3a", "--num-nodes", "50", "--rounds", "2"])
+        assert args.command == "figure3a"
+        assert args.num_nodes == 50
+        assert args.rounds == 2
+
+
+class TestExecution:
+    def test_run_small_figure3a(self, capsys):
+        code = main(["figure3a", "--num-nodes", "40", "--rounds", "2", "--seed", "3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "experiment: figure3a" in output
+        assert "perigee-subset" in output
+
+    def test_run_small_figure4a_sweep(self, capsys):
+        code = main(["figure4a", "--num-nodes", "40", "--rounds", "2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "validation-delay sweep" in output

@@ -1,0 +1,87 @@
+"""Tests for the discrete-event queue."""
+
+import pytest
+
+from repro.core.events import EventQueue
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(5.0, lambda q, p: fired.append(p), "b")
+        queue.schedule(1.0, lambda q, p: fired.append(p), "a")
+        queue.schedule(9.0, lambda q, p: fired.append(p), "c")
+        queue.run_all()
+        assert fired == ["a", "b", "c"]
+        assert queue.now == pytest.approx(9.0)
+
+    def test_ties_broken_by_scheduling_order(self):
+        queue = EventQueue()
+        fired = []
+        for label in ("first", "second", "third"):
+            queue.schedule(2.0, lambda q, p: fired.append(p), label)
+        queue.run_all()
+        assert fired == ["first", "second", "third"]
+
+    def test_schedule_in_is_relative(self):
+        queue = EventQueue()
+        times = []
+        queue.schedule(10.0, lambda q, p: q.schedule_in(5.0, lambda q2, p2: times.append(q2.now)))
+        queue.run_all()
+        assert times == [pytest.approx(15.0)]
+
+    def test_scheduling_into_the_past_rejected(self):
+        queue = EventQueue()
+        queue.schedule(10.0, lambda q, p: None)
+        queue.run_all()
+        with pytest.raises(ValueError):
+            queue.schedule(5.0, lambda q, p: None)
+
+    def test_negative_relative_delay_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.schedule_in(-1.0, lambda q, p: None)
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule(1.0, lambda q, p: fired.append("cancelled"))
+        queue.schedule(2.0, lambda q, p: fired.append("kept"))
+        EventQueue.cancel(event)
+        queue.run_all()
+        assert fired == ["kept"]
+
+
+class TestRunControl:
+    def test_run_until_stops_at_deadline(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda q, p: fired.append(1))
+        queue.schedule(10.0, lambda q, p: fired.append(10))
+        processed = queue.run(until_ms=5.0)
+        assert processed == 1
+        assert fired == [1]
+        assert queue.pending_events == 1
+
+    def test_max_events_limit(self):
+        queue = EventQueue()
+        for t in range(10):
+            queue.schedule(float(t), lambda q, p: None)
+        processed = queue.run_all(max_events=4)
+        assert processed == 4
+        assert queue.processed_events == 4
+
+    def test_handlers_can_schedule_followups(self):
+        queue = EventQueue()
+        counter = {"value": 0}
+
+        def handler(q, payload):
+            counter["value"] += 1
+            if counter["value"] < 5:
+                q.schedule_in(1.0, handler)
+
+        queue.schedule(0.0, handler)
+        queue.run_all()
+        assert counter["value"] == 5
+        assert queue.now == pytest.approx(4.0)

@@ -1,0 +1,86 @@
+"""Tests for the fork-rate estimation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.forks import (
+    BITCOIN_BLOCK_INTERVAL_MS,
+    estimate_fork_rate,
+    fork_probability,
+    fork_rate_improvement,
+)
+
+
+class TestForkProbability:
+    def test_zero_delay_means_no_fork(self):
+        assert fork_probability(0.0, BITCOIN_BLOCK_INTERVAL_MS) == pytest.approx(0.0)
+
+    def test_probability_increases_with_delay(self):
+        slow = fork_probability(60_000.0, BITCOIN_BLOCK_INTERVAL_MS)
+        fast = fork_probability(1_000.0, BITCOIN_BLOCK_INTERVAL_MS)
+        assert 0.0 < fast < slow < 1.0
+
+    def test_known_value(self):
+        # delay equal to the block interval -> 1 - 1/e.
+        assert fork_probability(
+            BITCOIN_BLOCK_INTERVAL_MS, BITCOIN_BLOCK_INTERVAL_MS
+        ) == pytest.approx(1.0 - np.exp(-1.0))
+
+    def test_infinite_delay_is_certain_fork(self):
+        assert fork_probability(np.inf, BITCOIN_BLOCK_INTERVAL_MS) == pytest.approx(1.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            fork_probability(-1.0, 1000.0)
+        with pytest.raises(ValueError):
+            fork_probability(10.0, 0.0)
+
+
+class TestEstimateForkRate:
+    def test_uniform_weighting(self):
+        reach = np.array([1_000.0, 2_000.0, 3_000.0])
+        estimate = estimate_fork_rate(reach, block_interval_ms=600_000.0)
+        expected = np.mean([fork_probability(v, 600_000.0) for v in reach])
+        assert estimate.mean_fork_probability == pytest.approx(expected)
+        assert estimate.effective_throughput_fraction == pytest.approx(1.0 - expected)
+        assert estimate.worst_fork_probability == pytest.approx(
+            fork_probability(3_000.0, 600_000.0)
+        )
+
+    def test_hash_power_weighting(self):
+        reach = np.array([1_000.0, 100_000.0])
+        heavy_on_fast = estimate_fork_rate(
+            reach, hash_power=np.array([0.99, 0.01]), block_interval_ms=600_000.0
+        )
+        heavy_on_slow = estimate_fork_rate(
+            reach, hash_power=np.array([0.01, 0.99]), block_interval_ms=600_000.0
+        )
+        assert heavy_on_fast.mean_fork_probability < heavy_on_slow.mean_fork_probability
+
+    def test_as_dict_round_trip(self):
+        estimate = estimate_fork_rate(np.array([5_000.0]))
+        payload = estimate.as_dict()
+        assert payload["block_interval_ms"] == pytest.approx(BITCOIN_BLOCK_INTERVAL_MS)
+        assert 0.0 <= payload["mean_fork_probability"] <= 1.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_fork_rate(np.array([]))
+        with pytest.raises(ValueError):
+            estimate_fork_rate(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            estimate_fork_rate(np.array([1.0, 2.0]), hash_power=np.array([1.0]))
+        with pytest.raises(ValueError):
+            estimate_fork_rate(np.array([1.0]), hash_power=np.array([0.0]))
+
+
+class TestImprovement:
+    def test_faster_topology_reduces_fork_rate(self):
+        baseline = np.full(10, 30_000.0)
+        candidate = np.full(10, 20_000.0)
+        improvement = fork_rate_improvement(candidate, baseline)
+        assert 0.2 < improvement < 0.5
+
+    def test_identical_topologies_give_zero_improvement(self):
+        reach = np.array([10_000.0, 20_000.0])
+        assert fork_rate_improvement(reach, reach) == pytest.approx(0.0)

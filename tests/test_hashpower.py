@@ -1,0 +1,108 @@
+"""Tests for the hash power distributions."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import hashpower
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestUniform:
+    def test_sums_to_one(self):
+        shares = hashpower.uniform_hash_power(250)
+        assert shares.sum() == pytest.approx(1.0)
+        assert np.allclose(shares, shares[0])
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            hashpower.uniform_hash_power(0)
+
+
+class TestExponential:
+    def test_sums_to_one_and_positive(self, rng):
+        shares = hashpower.exponential_hash_power(500, rng)
+        assert shares.sum() == pytest.approx(1.0)
+        assert np.all(shares >= 0)
+
+    def test_is_skewed_compared_to_uniform(self, rng):
+        shares = hashpower.exponential_hash_power(2000, rng)
+        uniform = hashpower.uniform_hash_power(2000)
+        assert hashpower.gini_coefficient(shares) > hashpower.gini_coefficient(uniform)
+
+    def test_rejects_bad_arguments(self, rng):
+        with pytest.raises(ValueError):
+            hashpower.exponential_hash_power(0, rng)
+        with pytest.raises(ValueError):
+            hashpower.exponential_hash_power(10, rng, mean=0.0)
+
+
+class TestConcentrated:
+    def test_ten_percent_of_nodes_hold_ninety_percent(self, rng):
+        shares, miners = hashpower.concentrated_hash_power(400, rng)
+        assert shares.sum() == pytest.approx(1.0)
+        assert miners.size == 40
+        assert shares[miners].sum() == pytest.approx(0.9)
+
+    def test_miners_are_distinct_and_valid(self, rng):
+        _, miners = hashpower.concentrated_hash_power(100, rng)
+        assert len(set(miners.tolist())) == miners.size
+        assert miners.min() >= 0
+        assert miners.max() < 100
+
+    def test_custom_fractions(self, rng):
+        shares, miners = hashpower.concentrated_hash_power(
+            200, rng, miner_fraction=0.05, power_share=0.8
+        )
+        assert miners.size == 10
+        assert shares[miners].sum() == pytest.approx(0.8)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"miner_fraction": 0.0},
+            {"miner_fraction": 1.0},
+            {"power_share": 0.0},
+            {"power_share": 1.0},
+        ],
+    )
+    def test_rejects_bad_fractions(self, rng, kwargs):
+        with pytest.raises(ValueError):
+            hashpower.concentrated_hash_power(100, rng, **kwargs)
+
+    def test_rejects_tiny_population(self, rng):
+        with pytest.raises(ValueError):
+            hashpower.concentrated_hash_power(1, rng)
+
+
+class TestDispatchAndGini:
+    @pytest.mark.parametrize("name", ["uniform", "exponential", "concentrated"])
+    def test_sample_hash_power_dispatch(self, rng, name):
+        shares = hashpower.sample_hash_power(name, 120, rng)
+        assert shares.shape == (120,)
+        assert shares.sum() == pytest.approx(1.0)
+
+    def test_sample_hash_power_unknown_name(self, rng):
+        with pytest.raises(ValueError):
+            hashpower.sample_hash_power("bimodal", 10, rng)
+
+    def test_gini_zero_for_uniform(self):
+        assert hashpower.gini_coefficient(np.full(50, 0.02)) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_gini_close_to_one_for_extreme_concentration(self):
+        shares = np.zeros(1000)
+        shares[0] = 1.0
+        assert hashpower.gini_coefficient(shares) > 0.99
+
+    def test_gini_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            hashpower.gini_coefficient(np.array([]))
+        with pytest.raises(ValueError):
+            hashpower.gini_coefficient(np.array([0.0, 0.0]))
+        with pytest.raises(ValueError):
+            hashpower.gini_coefficient(np.array([-0.5, 1.5]))

@@ -1,0 +1,140 @@
+"""Tests for the block-propagation delay metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.delay import (
+    DelayCurve,
+    delay_curve,
+    hash_power_reach_times,
+    improvement_over_baseline,
+    reach_time_for_source,
+)
+
+
+class TestReachTimeForSource:
+    def test_uniform_hash_power_simple_case(self):
+        arrival = np.array([0.0, 10.0, 20.0, 30.0, 40.0])
+        hash_power = np.full(5, 0.2)
+        # 90% of hash power requires 5 nodes (ceil(0.9 * 5) = 4.5 -> node at 40).
+        assert reach_time_for_source(arrival, hash_power, 0.9) == pytest.approx(40.0)
+        # 50% requires 3 nodes -> 20 ms.
+        assert reach_time_for_source(arrival, hash_power, 0.5) == pytest.approx(20.0)
+
+    def test_weighted_hash_power(self):
+        arrival = np.array([0.0, 5.0, 100.0])
+        hash_power = np.array([0.1, 0.85, 0.05])
+        # Source (0.1) + node 1 (0.85) = 0.95 >= 0.9 at time 5.
+        assert reach_time_for_source(arrival, hash_power, 0.9) == pytest.approx(5.0)
+
+    def test_unreachable_target_returns_infinity(self):
+        arrival = np.array([0.0, np.inf, np.inf])
+        hash_power = np.full(3, 1 / 3)
+        assert np.isinf(reach_time_for_source(arrival, hash_power, 0.9))
+
+    def test_full_target_uses_last_arrival(self):
+        arrival = np.array([0.0, 3.0, 9.0])
+        hash_power = np.full(3, 1 / 3)
+        assert reach_time_for_source(arrival, hash_power, 1.0) == pytest.approx(9.0)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            reach_time_for_source(np.zeros(3), np.zeros(2), 0.9)
+        with pytest.raises(ValueError):
+            reach_time_for_source(np.zeros(3), np.full(3, 1 / 3), 0.0)
+
+
+class TestHashPowerReachTimes:
+    def test_matches_per_source_computation(self):
+        rng = np.random.default_rng(0)
+        arrival = rng.uniform(0, 100, size=(20, 20))
+        np.fill_diagonal(arrival, 0.0)
+        hash_power = rng.dirichlet(np.ones(20))
+        vectorised = hash_power_reach_times(arrival, hash_power, 0.9)
+        for source in range(20):
+            expected = reach_time_for_source(arrival[source], hash_power, 0.9)
+            assert vectorised[source] == pytest.approx(expected)
+
+    def test_lower_target_is_never_slower(self):
+        rng = np.random.default_rng(1)
+        arrival = rng.uniform(0, 100, size=(15, 15))
+        np.fill_diagonal(arrival, 0.0)
+        hash_power = np.full(15, 1 / 15)
+        reach_50 = hash_power_reach_times(arrival, hash_power, 0.5)
+        reach_90 = hash_power_reach_times(arrival, hash_power, 0.9)
+        assert np.all(reach_50 <= reach_90 + 1e-9)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            hash_power_reach_times(np.zeros((3, 4)), np.full(3, 1 / 3))
+        with pytest.raises(ValueError):
+            hash_power_reach_times(np.zeros((3, 3)), np.full(4, 0.25))
+        with pytest.raises(ValueError):
+            hash_power_reach_times(np.zeros((3, 3)), np.full(3, 1 / 3), 1.5)
+
+
+class TestDelayCurve:
+    def test_curve_is_sorted(self):
+        curve = delay_curve(np.array([30.0, 10.0, 20.0]), "random")
+        assert np.all(np.diff(curve.sorted_delays_ms) >= 0)
+        assert curve.num_nodes == 3
+        assert curve.protocol == "random"
+
+    def test_percentiles_and_statistics(self):
+        values = np.arange(100, dtype=float)
+        curve = delay_curve(values, "x")
+        assert curve.median_ms == pytest.approx(49.5)
+        assert curve.mean_ms == pytest.approx(49.5)
+        assert curve.percentile(90) == pytest.approx(89.1)
+
+    def test_value_at_node_rank(self):
+        curve = delay_curve(np.array([5.0, 1.0, 3.0]), "x")
+        assert curve.value_at_node_rank(0) == pytest.approx(1.0)
+        assert curve.value_at_node_rank(2) == pytest.approx(5.0)
+        with pytest.raises(IndexError):
+            curve.value_at_node_rank(3)
+
+    def test_error_bar_ranks_match_paper_positions(self):
+        curve = delay_curve(np.arange(1000, dtype=float), "x")
+        assert curve.error_bar_ranks(5) == [166, 332, 498, 664, 830]
+        with pytest.raises(ValueError):
+            curve.error_bar_ranks(0)
+
+    def test_curve_with_infinite_entries(self):
+        curve = delay_curve(np.array([1.0, np.inf]), "x")
+        assert np.isfinite(curve.median_ms)
+
+    def test_all_infinite_curve(self):
+        curve = DelayCurve(
+            protocol="x",
+            sorted_delays_ms=np.array([np.inf, np.inf]),
+            target_fraction=0.9,
+        )
+        assert np.isinf(curve.median_ms)
+        assert np.isinf(curve.mean_ms)
+
+
+class TestImprovement:
+    def test_improvement_over_baseline(self):
+        fast = delay_curve(np.full(10, 50.0), "fast")
+        slow = delay_curve(np.full(10, 100.0), "slow")
+        assert improvement_over_baseline(fast, slow) == pytest.approx(0.5)
+        assert improvement_over_baseline(slow, slow) == pytest.approx(0.0)
+        assert improvement_over_baseline(slow, fast) == pytest.approx(-1.0)
+
+    @pytest.mark.parametrize("statistic", ["median", "mean", "p90"])
+    def test_supported_statistics(self, statistic):
+        fast = delay_curve(np.arange(10, dtype=float), "fast")
+        slow = delay_curve(np.arange(10, dtype=float) * 2, "slow")
+        assert improvement_over_baseline(fast, slow, statistic) > 0
+
+    def test_unknown_statistic_rejected(self):
+        curve = delay_curve(np.ones(3), "x")
+        with pytest.raises(ValueError):
+            improvement_over_baseline(curve, curve, "max")
+
+    def test_degenerate_baseline_rejected(self):
+        zero = delay_curve(np.zeros(3), "zero")
+        one = delay_curve(np.ones(3), "one")
+        with pytest.raises(ValueError):
+            improvement_over_baseline(one, zero)

@@ -1,0 +1,143 @@
+"""Tests for observation sets and the percentile scoring helper."""
+
+import math
+
+import pytest
+
+from repro.core.observations import (
+    NEVER,
+    Observation,
+    ObservationSet,
+    percentile_score,
+)
+
+
+class TestObservation:
+    def test_valid_tuple(self):
+        obs = Observation(block_id=1, neighbor=2, timestamp_ms=3.5)
+        assert obs.timestamp_ms == pytest.approx(3.5)
+
+    @pytest.mark.parametrize("kwargs", [{"block_id": -1, "neighbor": 0}, {"block_id": 0, "neighbor": -1}])
+    def test_invalid_tuple_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Observation(timestamp_ms=0.0, **kwargs)
+
+
+class TestRecording:
+    def test_record_and_introspect(self):
+        obs = ObservationSet(node_id=0)
+        obs.record(10, 1, 5.0)
+        obs.record(10, 2, 7.0)
+        obs.record(11, 1, 3.0)
+        assert obs.block_ids == [10, 11]
+        assert obs.neighbors_seen == {1, 2}
+        assert obs.num_observations() == 3
+        assert len(obs) == 3
+        assert obs.timestamps_for_block(10) == {1: 5.0, 2: 7.0}
+
+    def test_record_many(self):
+        obs = ObservationSet(node_id=0)
+        obs.record_many(5, {1: 2.0, 3: 4.0})
+        assert obs.timestamps_for_block(5) == {1: 2.0, 3: 4.0}
+
+    def test_iter_observations_sorted(self):
+        obs = ObservationSet(node_id=0)
+        obs.record(2, 3, 1.0)
+        obs.record(1, 5, 2.0)
+        obs.record(1, 4, 3.0)
+        listed = list(obs.iter_observations())
+        assert [(o.block_id, o.neighbor) for o in listed] == [(1, 4), (1, 5), (2, 3)]
+
+    def test_record_rejects_invalid_ids(self):
+        obs = ObservationSet(node_id=0)
+        with pytest.raises(ValueError):
+            obs.record(-1, 0, 1.0)
+        with pytest.raises(ValueError):
+            obs.record(0, -1, 1.0)
+
+
+class TestNormalisation:
+    def test_first_arrival(self):
+        obs = ObservationSet(node_id=0)
+        obs.record(1, 10, 30.0)
+        obs.record(1, 11, 20.0)
+        assert obs.first_arrival(1) == pytest.approx(20.0)
+        assert obs.first_arrival(99) == NEVER
+
+    def test_normalized_relative_to_first_delivery(self):
+        obs = ObservationSet(node_id=0)
+        obs.record(1, 10, 30.0)
+        obs.record(1, 11, 20.0)
+        obs.record(2, 10, 5.0)
+        obs.record(2, 11, 9.0)
+        normalized = obs.normalized()
+        assert normalized.timestamps_for_block(1) == {10: 10.0, 11: 0.0}
+        assert normalized.timestamps_for_block(2) == {10: 0.0, 11: 4.0}
+
+    def test_normalized_keeps_never_delivered_as_infinite(self):
+        obs = ObservationSet(node_id=0)
+        obs.record(1, 10, 30.0)
+        obs.record(1, 11, NEVER)
+        normalized = obs.normalized()
+        assert normalized.timestamps_for_block(1)[10] == pytest.approx(0.0)
+        assert math.isinf(normalized.timestamps_for_block(1)[11])
+
+    def test_normalized_drops_blocks_never_observed(self):
+        obs = ObservationSet(node_id=0)
+        obs.record(1, 10, NEVER)
+        normalized = obs.normalized()
+        assert normalized.block_ids == []
+
+    def test_relative_timestamps_include_missing_blocks_as_never(self):
+        obs = ObservationSet(node_id=0)
+        obs.record(1, 10, 0.0)
+        obs.record(2, 11, 0.0)
+        values = obs.relative_timestamps(10)
+        assert len(values) == 2
+        assert sum(1 for value in values if math.isinf(value)) == 1
+        assert obs.finite_relative_timestamps(10) == [0.0]
+
+
+class TestMerge:
+    def test_merge_combines_rounds(self):
+        first = ObservationSet(node_id=0)
+        first.record(1, 10, 5.0)
+        second = ObservationSet(node_id=0)
+        second.record(2, 10, 6.0)
+        merged = first.merge(second)
+        assert merged.block_ids == [1, 2]
+        assert merged.num_observations() == 2
+
+    def test_merge_rejects_different_nodes(self):
+        first = ObservationSet(node_id=0)
+        second = ObservationSet(node_id=1)
+        with pytest.raises(ValueError):
+            first.merge(second)
+
+
+class TestPercentileScore:
+    def test_empty_multiset_scores_infinity(self):
+        assert math.isinf(percentile_score([]))
+
+    def test_all_infinite_scores_infinity(self):
+        assert math.isinf(percentile_score([NEVER, NEVER]))
+
+    def test_simple_percentile(self):
+        values = list(range(11))  # 0..10
+        assert percentile_score(values, 90.0) == pytest.approx(9.0)
+        assert percentile_score(values, 50.0) == pytest.approx(5.0)
+
+    def test_infinite_tail_pushes_high_percentiles_to_infinity(self):
+        values = [1.0, 2.0, 3.0, NEVER, NEVER, NEVER, NEVER, NEVER, NEVER, NEVER]
+        # 90th percentile falls in the infinite mass.
+        assert math.isinf(percentile_score(values, 90.0))
+        # Low percentiles remain finite.
+        assert percentile_score(values, 10.0) == pytest.approx(1.9, rel=1e-6)
+
+    def test_mostly_finite_values_keep_percentile_finite(self):
+        values = [float(v) for v in range(9)] + [NEVER]
+        assert math.isfinite(percentile_score(values, 50.0))
+
+    def test_invalid_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            percentile_score([1.0], 150.0)

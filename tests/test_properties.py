@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.network import P2PNetwork
+from repro.core.observations import NEVER, ObservationSet, percentile_score
+from repro.core.propagation import PropagationEngine
+from repro.latency.base import MatrixLatencyModel
+from repro.metrics.delay import hash_power_reach_times, reach_time_for_source
+from repro.protocols.scoring import (
+    confidence_interval,
+    greedy_subset_selection,
+    group_score,
+)
+
+common_settings = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+# --------------------------------------------------------------------------- #
+# Network invariants
+# --------------------------------------------------------------------------- #
+@common_settings
+@given(
+    num_nodes=st.integers(min_value=5, max_value=40),
+    out_degree=st.integers(min_value=1, max_value=6),
+    max_incoming=st.integers(min_value=1, max_value=10),
+    operations=st.lists(
+        st.tuples(st.booleans(), st.integers(0, 1_000_000), st.integers(0, 1_000_000)),
+        max_size=200,
+    ),
+)
+def test_network_invariants_hold_under_arbitrary_operations(
+    num_nodes, out_degree, max_incoming, operations
+):
+    network = P2PNetwork(num_nodes, out_degree, max_incoming)
+    for connect, raw_a, raw_b in operations:
+        a, b = raw_a % num_nodes, raw_b % num_nodes
+        if a == b:
+            continue
+        if connect:
+            network.connect(a, b)
+        else:
+            network.disconnect(a, b)
+    network.validate_invariants()
+    for node in range(num_nodes):
+        assert len(network.outgoing_neighbors(node)) <= out_degree
+        assert len(network.incoming_neighbors(node)) <= max_incoming
+    # The undirected edge view is consistent with per-node neighbor sets.
+    edges = set(network.edge_list())
+    for u, v in edges:
+        assert network.has_edge(u, v)
+        assert v in network.neighbors(u)
+        assert u in network.neighbors(v)
+
+
+@common_settings
+@given(
+    num_nodes=st.integers(min_value=4, max_value=30),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_fill_random_outgoing_uses_full_budget_when_capacity_allows(num_nodes, seed):
+    rng = np.random.default_rng(seed)
+    out_degree = min(3, num_nodes - 1)
+    network = P2PNetwork(num_nodes, out_degree=out_degree, max_incoming=num_nodes)
+    for node in range(num_nodes):
+        network.fill_random_outgoing(node, rng)
+    for node in range(num_nodes):
+        # A node fills its whole outgoing budget unless it is already
+        # connected (in either direction) to every other node — duplicate
+        # connections between a pair are never created.
+        filled = len(network.outgoing_neighbors(node))
+        assert filled == out_degree or len(network.neighbors(node)) == num_nodes - 1
+    network.validate_invariants()
+
+
+# --------------------------------------------------------------------------- #
+# Propagation invariants
+# --------------------------------------------------------------------------- #
+@common_settings
+@given(
+    num_nodes=st.integers(min_value=4, max_value=25),
+    seed=st.integers(min_value=0, max_value=500),
+    latency_scale=st.floats(min_value=1.0, max_value=200.0),
+    validation=st.floats(min_value=0.0, max_value=100.0),
+)
+def test_propagation_arrival_times_satisfy_first_arrival_property(
+    num_nodes, seed, latency_scale, validation
+):
+    rng = np.random.default_rng(seed)
+    raw = rng.uniform(1.0, latency_scale + 1.0, size=(num_nodes, num_nodes))
+    matrix = (raw + raw.T) / 2
+    np.fill_diagonal(matrix, 0.0)
+    latency = MatrixLatencyModel(matrix)
+    engine = PropagationEngine(latency, np.full(num_nodes, validation))
+    network = P2PNetwork(num_nodes, out_degree=min(3, num_nodes - 1), max_incoming=num_nodes)
+    for node in range(num_nodes):
+        network.fill_random_outgoing(node, rng)
+    source = int(rng.integers(0, num_nodes))
+    result = engine.propagate(network, [source])
+    arrival = result.arrival_times[0]
+    assert arrival[source] == pytest.approx(0.0)
+    # Arrival time at every node equals the minimum forwarding time among its
+    # neighbors (the defining fixed point of the propagation model).
+    forwarding = engine.forwarding_times(network, result, 0)
+    for node in range(num_nodes):
+        if node == source or not forwarding[node]:
+            continue
+        assert arrival[node] == pytest.approx(min(forwarding[node].values()), rel=1e-9)
+    # Monotonicity: raising validation delays can never speed anything up.
+    slower_engine = PropagationEngine(latency, np.full(num_nodes, validation + 10.0))
+    slower = slower_engine.propagate(network, [source]).arrival_times[0]
+    finite = np.isfinite(arrival)
+    assert np.all(slower[finite] >= arrival[finite] - 1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# Metric invariants
+# --------------------------------------------------------------------------- #
+@common_settings
+@given(
+    num_nodes=st.integers(min_value=3, max_value=30),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_reach_time_monotone_in_target(num_nodes, seed):
+    rng = np.random.default_rng(seed)
+    arrival = rng.uniform(0, 100, size=num_nodes)
+    arrival[0] = 0.0
+    hash_power = rng.dirichlet(np.ones(num_nodes))
+    previous = 0.0
+    for target in (0.1, 0.3, 0.5, 0.7, 0.9, 1.0):
+        value = reach_time_for_source(arrival, hash_power, target)
+        assert value >= previous - 1e-9
+        previous = value
+    # The vectorised version agrees with the scalar one.
+    matrix = np.tile(arrival, (num_nodes, 1))
+    vectorised = hash_power_reach_times(matrix, hash_power, 0.9)
+    assert np.allclose(vectorised, reach_time_for_source(arrival, hash_power, 0.9))
+
+
+@common_settings
+@given(
+    values=st.lists(
+        st.one_of(
+            st.floats(min_value=0.0, max_value=1e6),
+            st.just(NEVER),
+        ),
+        min_size=1,
+        max_size=50,
+    ),
+    percentile=st.floats(min_value=0.0, max_value=100.0),
+)
+def test_percentile_score_bounds(values, percentile):
+    score = percentile_score(values, percentile)
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        assert math.isinf(score)
+    elif math.isfinite(score):
+        assert min(finite) - 1e-9 <= score <= max(finite) + 1e-9
+    # Monotonicity in the percentile.
+    if finite:
+        low = percentile_score(values, 10.0)
+        high = percentile_score(values, 95.0)
+        assert (not math.isfinite(high)) or low <= high + 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# Scoring invariants
+# --------------------------------------------------------------------------- #
+@common_settings
+@given(
+    num_neighbors=st.integers(min_value=1, max_value=8),
+    num_blocks=st.integers(min_value=1, max_value=20),
+    budget=st.integers(min_value=0, max_value=8),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_greedy_subset_selection_properties(num_neighbors, num_blocks, budget, seed):
+    rng = np.random.default_rng(seed)
+    observations = ObservationSet(node_id=0)
+    neighbors = set(range(1, num_neighbors + 1))
+    for block in range(num_blocks):
+        for neighbor in neighbors:
+            observations.record(block, neighbor, float(rng.uniform(0, 100)))
+    selected = greedy_subset_selection(observations, neighbors, budget)
+    assert len(selected) == min(budget, num_neighbors)
+    assert len(set(selected)) == len(selected)
+    assert set(selected) <= neighbors
+    # Greedy extension never worsens the joint group score.
+    if len(selected) >= 2:
+        shorter = group_score(observations, selected[:-1])
+        longer = group_score(observations, selected)
+        if math.isfinite(shorter):
+            assert longer <= shorter + 1e-9
+
+
+@common_settings
+@given(
+    samples=st.lists(
+        st.floats(min_value=0.0, max_value=1e4), min_size=0, max_size=200
+    )
+)
+def test_confidence_interval_brackets_estimate(samples):
+    interval = confidence_interval(samples)
+    if samples:
+        assert interval.lower <= interval.estimate + 1e-9
+        assert interval.estimate <= interval.upper + 1e-9
+        assert interval.samples == len(samples)
+    else:
+        assert math.isinf(interval.estimate)
+
+
+# --------------------------------------------------------------------------- #
+# Observation normalisation invariants
+# --------------------------------------------------------------------------- #
+@common_settings
+@given(
+    num_blocks=st.integers(min_value=1, max_value=15),
+    num_neighbors=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_normalized_observations_have_zero_minimum_per_block(
+    num_blocks, num_neighbors, seed
+):
+    rng = np.random.default_rng(seed)
+    observations = ObservationSet(node_id=0)
+    for block in range(num_blocks):
+        for neighbor in range(1, num_neighbors + 1):
+            observations.record(block, neighbor, float(rng.uniform(10, 500)))
+    normalized = observations.normalized()
+    for block in normalized.block_ids:
+        deliveries = normalized.timestamps_for_block(block)
+        finite = [t for t in deliveries.values() if math.isfinite(t)]
+        assert min(finite) == pytest.approx(0.0)
+        assert all(t >= 0 for t in finite)

@@ -1,0 +1,70 @@
+"""Tests for the region definitions and inter-region latency matrix."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import regions
+
+
+class TestRegionDefinitions:
+    def test_seven_regions_as_in_the_paper(self):
+        assert len(regions.REGIONS) == 7
+        assert set(regions.REGIONS) == {
+            "north_america",
+            "south_america",
+            "europe",
+            "asia",
+            "africa",
+            "china",
+            "oceania",
+        }
+
+    def test_region_index_matches_order(self):
+        for index, name in enumerate(regions.REGIONS):
+            assert regions.REGION_INDEX[name] == index
+
+    def test_proportions_sum_to_one(self):
+        vector = regions.region_proportion_vector()
+        assert vector.sum() == pytest.approx(1.0)
+        assert np.all(vector > 0)
+
+    def test_dominant_regions_are_europe_and_north_america(self):
+        proportions = regions.REGION_PROPORTIONS
+        assert proportions["europe"] > proportions["asia"]
+        assert proportions["north_america"] > proportions["asia"]
+
+
+class TestLatencyMatrix:
+    def test_symmetric_lookup(self):
+        assert regions.inter_region_latency_ms(
+            "europe", "asia"
+        ) == regions.inter_region_latency_ms("asia", "europe")
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(KeyError):
+            regions.inter_region_latency_ms("atlantis", "europe")
+        with pytest.raises(KeyError):
+            regions.inter_region_latency_ms("europe", "atlantis")
+
+    def test_matrix_shape_and_symmetry(self):
+        matrix = regions.region_latency_matrix()
+        assert matrix.shape == (7, 7)
+        assert np.allclose(matrix, matrix.T)
+        assert np.all(matrix > 0)
+
+    def test_intra_continental_is_cheaper_than_inter(self):
+        matrix = regions.region_latency_matrix()
+        intra = np.diag(matrix)
+        inter = matrix[~np.eye(7, dtype=bool)]
+        assert intra.max() < inter.min()
+
+    def test_triangle_inequality_and_invariants(self):
+        # validate_latency_matrix raises AssertionError on any violation.
+        regions.validate_latency_matrix()
+
+    def test_intra_continental_threshold_separates_modes(self):
+        threshold = regions.intra_continental_threshold_ms()
+        matrix = regions.region_latency_matrix()
+        assert np.all(np.diag(matrix) < threshold)
+        inter = matrix[~np.eye(7, dtype=bool)]
+        assert np.all(inter > threshold)

@@ -1,0 +1,70 @@
+"""Tests for the protocol registry."""
+
+import pytest
+
+from repro.protocols.base import NeighborSelectionProtocol
+from repro.protocols.registry import (
+    available_protocols,
+    make_protocol,
+    register_protocol,
+    unregister_protocol,
+)
+
+
+class TestBuiltins:
+    def test_all_paper_protocols_registered(self):
+        names = available_protocols()
+        for expected in (
+            "random",
+            "geographic",
+            "geometric",
+            "kademlia",
+            "ideal",
+            "perigee-vanilla",
+            "perigee-ucb",
+            "perigee-subset",
+        ):
+            assert expected in names
+
+    @pytest.mark.parametrize("name", ["random", "perigee-subset", "kademlia"])
+    def test_make_protocol_returns_matching_name(self, name):
+        protocol = make_protocol(name)
+        assert isinstance(protocol, NeighborSelectionProtocol)
+        assert protocol.name == name
+
+    def test_make_protocol_forwards_kwargs(self):
+        protocol = make_protocol("geographic", local_fraction=0.75)
+        assert protocol.local_fraction == pytest.approx(0.75)
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(KeyError):
+            make_protocol("teleport")
+
+
+class TestCustomRegistration:
+    def test_register_and_unregister_custom_protocol(self):
+        class Custom(NeighborSelectionProtocol):
+            name = "custom-test"
+
+            def build_topology(self, context, network, rng):
+                pass
+
+        register_protocol("custom-test", Custom)
+        try:
+            assert isinstance(make_protocol("custom-test"), Custom)
+        finally:
+            unregister_protocol("custom-test")
+        with pytest.raises(KeyError):
+            make_protocol("custom-test")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_protocol("random", lambda: None)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_protocol("", lambda: None)
+
+    def test_builtins_cannot_be_unregistered(self):
+        with pytest.raises(ValueError):
+            unregister_protocol("random")

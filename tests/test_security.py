@@ -1,0 +1,123 @@
+"""Tests for the free-riding and eclipse-attack analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core.network import P2PNetwork
+from repro.latency.base import MatrixLatencyModel
+from repro.security.eclipse import run_eclipse_attack
+from repro.security.freeride import (
+    arrival_times_with_free_riders,
+    run_free_riding_experiment,
+)
+
+
+class TestArrivalTimesWithFreeRiders:
+    def build_line(self, n=4):
+        network = P2PNetwork(num_nodes=n, out_degree=3, max_incoming=6)
+        for u in range(n - 1):
+            network.connect(u, u + 1)
+        return network
+
+    def test_free_rider_blocks_the_path(self):
+        latency = MatrixLatencyModel.constant(4, 10.0)
+        network = self.build_line(4)
+        validation = np.zeros(4)
+        arrivals = arrival_times_with_free_riders(
+            latency, validation, network, [0], free_riders={1}
+        )
+        # Node 1 still receives the block, but never relays it onward.
+        assert arrivals[0, 1] == pytest.approx(10.0)
+        assert np.isinf(arrivals[0, 2])
+        assert np.isinf(arrivals[0, 3])
+
+    def test_no_free_riders_matches_normal_propagation(self):
+        from repro.core.propagation import PropagationEngine
+
+        latency = MatrixLatencyModel.constant(4, 10.0)
+        network = self.build_line(4)
+        validation = np.full(4, 5.0)
+        engine = PropagationEngine(latency, validation)
+        expected = engine.propagate(network, [0]).arrival_times
+        actual = arrival_times_with_free_riders(
+            latency, validation, network, [0], free_riders=set()
+        )
+        assert np.allclose(actual, expected)
+
+    def test_mining_free_rider_still_announces_its_own_block(self):
+        latency = MatrixLatencyModel.constant(3, 10.0)
+        network = self.build_line(3)
+        validation = np.zeros(3)
+        arrivals = arrival_times_with_free_riders(
+            latency, validation, network, [0], free_riders={0}
+        )
+        assert arrivals[0, 1] == pytest.approx(10.0)
+        assert arrivals[0, 2] == pytest.approx(20.0)
+
+
+class TestFreeRidingExperiment:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return run_free_riding_experiment(
+            num_nodes=100,
+            num_free_riders=8,
+            rounds=8,
+            blocks_per_round=30,
+            seed=1,
+        )
+
+    def test_both_protocols_reported(self, outcomes):
+        assert set(outcomes) == {"random", "perigee-subset"}
+        for outcome in outcomes.values():
+            assert outcome.free_rider_count == 8
+            assert np.isfinite(outcome.compliant_receive_ms)
+
+    def test_perigee_penalises_free_riders_more_than_random(self, outcomes):
+        # The incentive-compatibility claim: under Perigee the free-rider's
+        # receive delay degrades much more (relative to compliant nodes) than
+        # under the static random topology.
+        assert outcomes["perigee-subset"].penalty > outcomes["random"].penalty
+
+    def test_penalty_is_positive_under_perigee(self, outcomes):
+        assert outcomes["perigee-subset"].penalty > 0.05
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            run_free_riding_experiment(num_nodes=50, num_free_riders=0)
+        with pytest.raises(ValueError):
+            run_free_riding_experiment(num_nodes=50, num_free_riders=50)
+
+
+class TestEclipseAttack:
+    def test_head_start_amplifies_adversary_presence(self):
+        exposure = run_eclipse_attack(
+            num_nodes=100,
+            adversary_fraction=0.1,
+            head_start_ms=40.0,
+            rounds=8,
+            blocks_per_round=30,
+            seed=2,
+        )
+        # Early delivery should make adversaries over-represented among
+        # outgoing neighbors compared to their population share...
+        assert exposure.outgoing_capture > exposure.baseline_capture
+        assert exposure.amplification > 1.0
+        # ...but random exploration keeps full eclipses rare.
+        assert exposure.fully_eclipsed_fraction < 0.5
+
+    def test_zero_head_start_is_close_to_baseline(self):
+        exposure = run_eclipse_attack(
+            num_nodes=100,
+            adversary_fraction=0.1,
+            head_start_ms=0.0,
+            rounds=6,
+            blocks_per_round=30,
+            seed=3,
+        )
+        assert exposure.outgoing_capture < 0.35
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            run_eclipse_attack(adversary_fraction=0.0)
+        with pytest.raises(ValueError):
+            run_eclipse_attack(adversary_fraction=1.0)

@@ -1,0 +1,144 @@
+"""Tests for the theory modules (Theorems 1 & 2, Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.latency.metric_space import MetricSpaceLatencyModel
+from repro.theory.geometric_graph import (
+    figure1_comparison,
+    geometric_graph_edges,
+    geometric_stretch_experiment,
+)
+from repro.theory.random_graph import (
+    random_graph_edges,
+    random_graph_stretch_experiment,
+)
+from repro.theory.stretch import (
+    pairwise_stretch,
+    shortest_path_latencies,
+    stretch_statistics,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(9)
+
+
+@pytest.fixture
+def model(rng):
+    return MetricSpaceLatencyModel(num_nodes=150, dimension=2, rng=rng, scale_ms=1.0)
+
+
+class TestShortestPathLatencies:
+    def test_direct_edge_distance(self, rng):
+        positions = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0]])
+        model = MetricSpaceLatencyModel(3, 2, positions=positions, scale_ms=1.0)
+        edges = np.array([[0, 1], [1, 2]])
+        paths = shortest_path_latencies(model, edges)
+        assert paths[0, 1] == pytest.approx(1.0)
+        assert paths[0, 2] == pytest.approx(2.0)
+        assert np.isinf(
+            shortest_path_latencies(model, np.array([[0, 1]]))[0, 2]
+        )
+
+    def test_empty_edge_set(self, model):
+        paths = shortest_path_latencies(model, np.zeros((0, 2)), np.array([0]))
+        assert np.isinf(paths[0, 1])
+        assert paths[0, 0] == pytest.approx(0.0)
+
+    def test_bad_edge_shape_rejected(self, model):
+        with pytest.raises(ValueError):
+            shortest_path_latencies(model, np.zeros((3, 3)))
+
+
+class TestPairwiseStretch:
+    def test_stretch_at_least_one(self, model, rng):
+        edges = geometric_graph_edges(model)
+        stretches = pairwise_stretch(model, edges, 50, rng, min_distance=0.2)
+        assert stretches.size > 0
+        assert np.all(stretches >= 1.0 - 1e-9)
+
+    def test_invalid_pair_count_rejected(self, model, rng):
+        with pytest.raises(ValueError):
+            pairwise_stretch(model, np.zeros((0, 2)), 0, rng)
+
+    def test_statistics_of_empty_sample(self):
+        stats = stretch_statistics(np.array([]))
+        assert stats.num_pairs == 0
+        assert np.isnan(stats.mean)
+
+    def test_statistics_summary(self):
+        stats = stretch_statistics(np.array([1.0, 2.0, 3.0]))
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.median == pytest.approx(2.0)
+        assert stats.maximum == pytest.approx(3.0)
+        assert stats.as_dict()["num_pairs"] == 3
+
+
+class TestRandomGraph:
+    def test_edge_density_close_to_requested(self, rng):
+        n = 400
+        edges = random_graph_edges(n, rng, average_degree=10.0)
+        average_degree = 2 * edges.shape[0] / n
+        assert average_degree == pytest.approx(10.0, rel=0.25)
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(ValueError):
+            random_graph_edges(1, rng)
+        with pytest.raises(ValueError):
+            random_graph_edges(10, rng, average_degree=0.0)
+
+    def test_theorem1_stretch_grows_with_n(self):
+        results = random_graph_stretch_experiment(
+            sizes=[100, 800], dimension=2, num_pairs=60, seed=1
+        )
+        assert results[800].median > results[100].median * 0.9
+        # Both graphs show meaningful stretch (well above 1).
+        assert results[800].median > 1.5
+
+
+class TestGeometricGraph:
+    def test_edges_respect_threshold(self, model):
+        threshold = model.geometric_threshold()
+        edges = geometric_graph_edges(model, threshold)
+        distances = model.as_matrix()[edges[:, 0], edges[:, 1]]
+        assert np.all(distances <= threshold + 1e-12)
+
+    def test_invalid_threshold_rejected(self, model):
+        with pytest.raises(ValueError):
+            geometric_graph_edges(model, threshold=0.0)
+
+    def test_theorem2_stretch_stays_bounded(self):
+        results = geometric_stretch_experiment(
+            sizes=[200, 1200], dimension=2, num_pairs=60, seed=2
+        )
+        # Constant-factor stretch: larger graphs do not blow up.
+        assert results[1200].median < 2.5
+        assert results[1200].median < results[200].median * 1.5
+
+    def test_geometric_beats_random_at_same_size(self):
+        size = 600
+        random_stats = random_graph_stretch_experiment([size], num_pairs=80, seed=3)[size]
+        geometric_stats = geometric_stretch_experiment([size], num_pairs=80, seed=3)[size]
+        assert geometric_stats.median < random_stats.median
+
+
+class TestFigure1:
+    def test_figure1_reproduces_papers_contrast(self):
+        result = figure1_comparison(num_nodes=500, links_per_node=3, seed=4, num_pairs=80)
+        assert result.direct_distance > 0.5
+        # The geometric graph's corner-to-corner path is close to the
+        # geodesic, the random topology's path is substantially longer.
+        assert result.geometric_stretch < result.random_stretch
+        assert result.geometric_stretch < 1.5
+        assert result.random_stretch > 1.1
+        # Over random well-separated pairs the contrast is much starker: the
+        # random topology's typical stretch is several times the geometric
+        # graph's near-1 stretch.
+        assert result.random_stretch_stats.median > 1.8
+        assert result.geometric_stretch_stats.median < 1.2
+        assert (
+            result.geometric_stretch_stats.median
+            < result.random_stretch_stats.median
+        )
