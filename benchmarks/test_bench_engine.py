@@ -44,6 +44,21 @@ def test_bench_all_pairs_evaluation(benchmark, prepared_simulator):
     assert reach.shape == (simulator.config.num_nodes,)
 
 
+def test_bench_forwarding_time_matrix(benchmark, prepared_simulator):
+    """Bulk observation building: (u, v) -> per-block forwarding times."""
+    simulator = prepared_simulator
+    sources = np.arange(50) % simulator.config.num_nodes
+    result = simulator.engine.propagate(simulator.network, sources)
+
+    def build_matrix():
+        return simulator.engine.forwarding_time_matrix(simulator.network, result)
+
+    forwarding = benchmark(build_matrix)
+    assert len(forwarding) == 2 * simulator.network.num_edges()
+    sample = next(iter(forwarding.values()))
+    assert sample.shape == (50,)
+
+
 def test_bench_event_driven_engine(benchmark, prepared_simulator):
     simulator = prepared_simulator
     engine = EventDrivenEngine(

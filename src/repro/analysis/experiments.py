@@ -13,6 +13,16 @@ Every runner follows the paper's methodology:
   node to reach 90% (and 50%) of the network hash power, sorted ascending —
   the y-values of Figures 3 and 4.
 
+Execution is delegated to :mod:`repro.runtime`: each runner builds a
+declarative :class:`~repro.runtime.tasks.SweepSpec`, expands it into
+per-(protocol, repeat) tasks with independently spawned seed streams, and
+routes them through a :class:`~repro.runtime.executor.SerialExecutor` or —
+with ``workers > 1`` — a process-pool
+:class:`~repro.runtime.executor.ParallelExecutor`.  Parallel execution is
+bit-for-bit identical to serial execution.  Passing ``store=`` persists raw
+task records to a JSONL store so interrupted sweeps resume for free
+(``perigee-sim resume --store DIR``).
+
 The default experiment sizes are scaled down from the paper's 1000 nodes so
 the benchmark suite completes in minutes on a laptop; pass ``num_nodes=1000``
 (and more rounds) to reproduce at full scale.
@@ -20,24 +30,23 @@ the benchmark suite completes in minutes on a laptop; pass ``num_nodes=1000``
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-
-import numpy as np
+from typing import Any, Mapping
 
 from repro.config import SimulationConfig, default_config
-from repro.core.simulator import Simulator
-from repro.datasets.bitnodes import NodePopulation, generate_population
-from repro.latency.base import LatencyModel
-from repro.latency.geo import GeographicLatencyModel
-from repro.latency.relay import (
-    RelayNetworkOverlay,
-    apply_miner_speedup,
-    apply_relay_overlay,
-    build_relay_tree,
+from repro.metrics.delay import DelayCurve, improvement_over_baseline
+from repro.metrics.topology import EdgeLatencyHistogram
+from repro.runtime.aggregate import records_to_result
+from repro.runtime.executor import (
+    ProgressCallback,
+    execute_sweep,
+    make_executor,
+    run_task,
 )
-from repro.metrics.delay import DelayCurve, delay_curve, improvement_over_baseline
-from repro.metrics.topology import EdgeLatencyHistogram, edge_latency_histogram
-from repro.protocols.registry import make_protocol
+from repro.runtime.scenarios import Scenario
+from repro.runtime.store import ResultStore
+from repro.runtime.tasks import SweepSpec
 
 #: The protocol line-up of Figure 3.
 FIGURE3_PROTOCOLS = (
@@ -111,45 +120,14 @@ class ProcessingDelaySweepResult:
         }
 
 
-def _mean_curve(curves: list[DelayCurve], protocol: str, target: float) -> DelayCurve:
-    """Average sorted per-node curves across repeats (element-wise)."""
-    stacked = np.vstack([curve.sorted_delays_ms for curve in curves])
-    return DelayCurve(
-        protocol=protocol,
-        sorted_delays_ms=stacked.mean(axis=0),
-        target_fraction=target,
-    )
+def _resolve_executor(workers: int, executor):
+    return executor if executor is not None else make_executor(workers)
 
 
-def _run_single_protocol(
-    protocol_name: str,
-    config: SimulationConfig,
-    population: NodePopulation,
-    latency: LatencyModel,
-    seed: int,
-    rounds: int,
-    protocol_kwargs: dict | None = None,
-) -> tuple[np.ndarray, np.ndarray, Simulator]:
-    """Run one protocol and return (reach90, reach50, simulator)."""
-    protocol = make_protocol(protocol_name, **(protocol_kwargs or {}))
-    rng = np.random.default_rng(seed)
-    simulator = Simulator(
-        config=config,
-        protocol=protocol,
-        population=population,
-        latency=latency,
-        rng=rng,
-    )
-    if protocol.is_adaptive:
-        simulator.run(rounds=rounds)
-    arrival = simulator.engine.all_sources_arrival_times(simulator.network)
-    from repro.metrics.delay import hash_power_reach_times
-
-    reach90 = hash_power_reach_times(
-        arrival, population.hash_power, config.hash_power_target
-    )
-    reach50 = hash_power_reach_times(arrival, population.hash_power, 0.5)
-    return reach90, reach50, simulator
+def _resolve_store(store):
+    if store is None or isinstance(store, ResultStore):
+        return store
+    return ResultStore(os.fspath(store))
 
 
 def compare_protocols(
@@ -161,6 +139,12 @@ def compare_protocols(
     population_builder=None,
     collect_histograms: bool = False,
     experiment_name: str = "custom",
+    scenario: str = "default",
+    scenario_params: Mapping[str, Any] | None = None,
+    workers: int = 1,
+    store=None,
+    executor=None,
+    progress: ProgressCallback | None = None,
 ) -> ExperimentResult:
     """Run several protocols on shared populations and return their curves.
 
@@ -176,56 +160,88 @@ def compare_protocols(
         Rounds to run adaptive protocols for (defaults to ``config.rounds``).
     latency_builder:
         Optional callable ``(population, rng) -> LatencyModel`` overriding the
-        default geographic model (used by the relay-network experiments).
+        default geographic model.  Closure-based builders cannot cross process
+        boundaries, so they force the serial in-process path; prefer a
+        registered scenario (``scenario=``) for anything that should scale.
     population_builder:
         Optional callable ``(config, rng) -> NodePopulation`` overriding the
-        default population generator.
+        default population generator (same serial-only caveat).
     collect_histograms:
         Also compute the Figure 5 edge-latency histogram of each final
-        topology.
+        topology (first repeat).
+    scenario / scenario_params:
+        Name and parameters of a registered environment scenario
+        (:mod:`repro.runtime.scenarios`); the picklable replacement for the
+        builder callables.
+    workers:
+        Number of worker processes; 1 (the default) runs serially in-process.
+    store:
+        Optional :class:`~repro.runtime.store.ResultStore` or directory path;
+        completed tasks are persisted and served from cache on re-runs.
+    executor:
+        Explicit executor instance overriding ``workers``.
+    progress:
+        Optional ``(done, total, record)`` callback invoked per finished task.
     """
     if repeats < 1:
         raise ValueError("repeats must be positive")
     rounds = config.rounds if rounds is None else rounds
-    per_protocol_90: dict[str, list[DelayCurve]] = {name: [] for name in protocol_names}
-    per_protocol_50: dict[str, list[DelayCurve]] = {name: [] for name in protocol_names}
-    histograms: dict[str, EdgeLatencyHistogram] = {}
-    for repeat in range(repeats):
-        seed = config.seed + 1000 * repeat
-        rng = np.random.default_rng(seed)
+    spec = SweepSpec(
+        name=experiment_name,
+        config=config,
+        protocols=tuple(protocol_names),
+        repeats=repeats,
+        rounds=rounds,
+        scenario=scenario,
+        scenario_params=dict(scenario_params or {}),
+        collect_histograms=collect_histograms,
+    )
+    run = run_task
+    if latency_builder is not None or population_builder is not None:
+        if workers > 1 or executor is not None or store is not None:
+            raise ValueError(
+                "closure-based latency_builder/population_builder cannot be "
+                "pickled; register a scenario (repro.runtime.scenarios) to "
+                "use workers or a result store"
+            )
+        custom = _legacy_scenario(latency_builder, population_builder)
+
+        def run(task):  # serial-only closure over the legacy builders
+            return run_task(task, scenario=custom)
+
+    resolved_executor = _resolve_executor(workers, executor)
+    records = execute_sweep(
+        spec,
+        executor=resolved_executor,
+        store=_resolve_store(store),
+        progress=progress,
+        run=run,
+    )
+    return records_to_result(records, name=experiment_name)
+
+
+def _legacy_scenario(latency_builder, population_builder) -> Scenario:
+    """Adapt the legacy builder callables to the scenario interface."""
+
+    def build_population(config, params, rng):
+        from repro.datasets.bitnodes import generate_population
+
         if population_builder is not None:
-            population = population_builder(config, rng)
-        else:
-            population = generate_population(config, rng)
+            return population_builder(config, rng)
+        return generate_population(config, rng)
+
+    def build_latency(config, population, params, rng):
+        from repro.latency.geo import GeographicLatencyModel
+
         if latency_builder is not None:
-            latency = latency_builder(population, rng)
-        else:
-            latency = GeographicLatencyModel(population.nodes, rng)
-        for name in protocol_names:
-            reach90, reach50, simulator = _run_single_protocol(
-                protocol_name=name,
-                config=config,
-                population=population,
-                latency=latency,
-                seed=seed + hash(name) % 1000,
-                rounds=rounds,
-            )
-            per_protocol_90[name].append(
-                delay_curve(reach90, name, config.hash_power_target)
-            )
-            per_protocol_50[name].append(delay_curve(reach50, name, 0.5))
-            if collect_histograms and repeat == 0:
-                histograms[name] = edge_latency_histogram(
-                    simulator.network, latency, name
-                )
-    result = ExperimentResult(name=experiment_name, config=config)
-    for name in protocol_names:
-        result.curves[name] = _mean_curve(
-            per_protocol_90[name], name, config.hash_power_target
-        )
-        result.curves_50[name] = _mean_curve(per_protocol_50[name], name, 0.5)
-    result.histograms = histograms
-    return result
+            return latency_builder(population, rng)
+        return GeographicLatencyModel(population.nodes, rng)
+
+    return Scenario(
+        name="legacy-builders",
+        build_population=build_population,
+        build_latency=build_latency,
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -238,6 +254,9 @@ def run_figure3a(
     seed: int = 0,
     blocks_per_round: int = 60,
     protocols: tuple[str, ...] = FIGURE3_PROTOCOLS,
+    workers: int = 1,
+    store=None,
+    progress: ProgressCallback | None = None,
 ) -> ExperimentResult:
     """Figure 3(a): uniform hash power, default delays."""
     config = default_config(
@@ -248,7 +267,13 @@ def run_figure3a(
         hash_power_distribution="uniform",
     )
     return compare_protocols(
-        config, protocols, repeats=repeats, experiment_name="figure3a"
+        config,
+        protocols,
+        repeats=repeats,
+        experiment_name="figure3a",
+        workers=workers,
+        store=store,
+        progress=progress,
     )
 
 
@@ -259,6 +284,9 @@ def run_figure3b(
     seed: int = 0,
     blocks_per_round: int = 60,
     protocols: tuple[str, ...] = FIGURE3_PROTOCOLS,
+    workers: int = 1,
+    store=None,
+    progress: ProgressCallback | None = None,
 ) -> ExperimentResult:
     """Figure 3(b): hash power drawn from an exponential distribution."""
     config = default_config(
@@ -269,7 +297,13 @@ def run_figure3b(
         hash_power_distribution="exponential",
     )
     return compare_protocols(
-        config, protocols, repeats=repeats, experiment_name="figure3b"
+        config,
+        protocols,
+        repeats=repeats,
+        experiment_name="figure3b",
+        workers=workers,
+        store=store,
+        progress=progress,
     )
 
 
@@ -284,9 +318,13 @@ def run_figure4a(
     blocks_per_round: int = 60,
     scales: tuple[float, ...] = FIGURE4A_SCALES,
     protocols: tuple[str, ...] = ("random", "perigee-subset"),
+    workers: int = 1,
+    store=None,
+    progress: ProgressCallback | None = None,
 ) -> ProcessingDelaySweepResult:
     """Figure 4(a): sweep the block validation delay from 0.1x to 10x."""
     results: dict[float, ExperimentResult] = {}
+    resolved_store = _resolve_store(store)
     for scale in scales:
         config = default_config(
             num_nodes=num_nodes,
@@ -301,6 +339,9 @@ def run_figure4a(
             protocols,
             repeats=repeats,
             experiment_name=f"figure4a-scale-{scale:g}x",
+            workers=workers,
+            store=resolved_store,
+            progress=progress,
         )
     return ProcessingDelaySweepResult(scales=tuple(scales), results=results)
 
@@ -321,6 +362,9 @@ def run_figure4b(
         "perigee-subset",
         "ideal",
     ),
+    workers: int = 1,
+    store=None,
+    progress: ProgressCallback | None = None,
 ) -> ExperimentResult:
     """Figure 4(b): 10% of nodes hold 90% of hash power, with fast links among them."""
     config = default_config(
@@ -330,19 +374,16 @@ def run_figure4b(
         blocks_per_round=blocks_per_round,
         hash_power_distribution="concentrated",
     )
-
-    def latency_builder(population: NodePopulation, rng: np.random.Generator):
-        base = GeographicLatencyModel(population.nodes, rng)
-        return apply_miner_speedup(
-            base, population.high_power_miners, speedup=miner_speedup
-        )
-
     return compare_protocols(
         config,
         protocols,
         repeats=repeats,
-        latency_builder=latency_builder,
         experiment_name="figure4b",
+        scenario="miner-speedup",
+        scenario_params={"speedup": miner_speedup},
+        workers=workers,
+        store=store,
+        progress=progress,
     )
 
 
@@ -364,9 +405,11 @@ def run_figure4c(
         "perigee-subset",
         "ideal",
     ),
+    workers: int = 1,
+    store=None,
+    progress: ProgressCallback | None = None,
 ) -> ExperimentResult:
     """Figure 4(c): a bloXroute-like low-latency relay tree of 100 nodes."""
-    relay_size = min(relay_size, max(2, num_nodes // 3))
     config = default_config(
         num_nodes=num_nodes,
         rounds=rounds,
@@ -374,44 +417,20 @@ def run_figure4c(
         blocks_per_round=blocks_per_round,
         hash_power_distribution="uniform",
     )
-
-    def population_builder(cfg: SimulationConfig, rng: np.random.Generator):
-        population = generate_population(cfg, rng)
-        overlay = build_relay_tree(
-            cfg.num_nodes, rng, size=relay_size, link_latency_ms=relay_link_ms
-        )
-        return population.with_relay_members(
-            overlay.members, validation_scale=relay_validation_scale
-        )
-
-    def latency_builder(population: NodePopulation, rng: np.random.Generator):
-        base = GeographicLatencyModel(population.nodes, rng)
-        # The relay tree is rebuilt deterministically over the members the
-        # population builder flagged (a 3-ary tree in member order), so the
-        # fast links connect exactly the nodes whose validation delay was
-        # reduced.
-        members = tuple(
-            node.node_id for node in population.nodes if node.is_relay
-        )
-        overlay = RelayNetworkOverlay(
-            members=members,
-            tree_parent=tuple(
-                -1 if index == 0 else members[(index - 1) // 3]
-                for index in range(len(members))
-            ),
-            link_latency_ms=relay_link_ms,
-        )
-        return apply_relay_overlay(
-            base, overlay, member_pair_latency_ms=relay_link_ms * 4
-        )
-
     return compare_protocols(
         config,
         protocols,
         repeats=repeats,
-        latency_builder=latency_builder,
-        population_builder=population_builder,
         experiment_name="figure4c",
+        scenario="relay",
+        scenario_params={
+            "relay_size": relay_size,
+            "relay_link_ms": relay_link_ms,
+            "relay_validation_scale": relay_validation_scale,
+        },
+        workers=workers,
+        store=store,
+        progress=progress,
     )
 
 
@@ -424,6 +443,9 @@ def run_figure5(
     seed: int = 0,
     blocks_per_round: int = 60,
     protocols: tuple[str, ...] = FIGURE5_PROTOCOLS,
+    workers: int = 1,
+    store=None,
+    progress: ProgressCallback | None = None,
 ) -> ExperimentResult:
     """Figure 5: histograms of overlay edge latencies under uniform hash power."""
     config = default_config(
@@ -439,6 +461,9 @@ def run_figure5(
         repeats=1,
         collect_histograms=True,
         experiment_name="figure5",
+        workers=workers,
+        store=store,
+        progress=progress,
     )
 
 

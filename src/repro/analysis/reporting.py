@@ -16,6 +16,7 @@ from repro.analysis.experiments import (
     ProcessingDelaySweepResult,
 )
 from repro.analysis.figures import figure5_rows, improvement_table
+from repro.runtime.tasks import TaskRecord
 
 
 def format_table(
@@ -83,6 +84,33 @@ def render_experiment_report(
             )
         )
     return "\n".join(sections)
+
+
+def render_task_progress(done: int, total: int, record: TaskRecord) -> str:
+    """One status line per finished runtime task (used by the CLI)."""
+    source = "store" if record.cached else f"{record.duration_s:.1f}s"
+    status = "" if record.ok else "  FAILED"
+    return (
+        f"[{done}/{total}] {record.task.experiment} "
+        f"{record.task.protocol} repeat={record.task.repeat} ({source}){status}"
+    )
+
+
+def render_failure_report(records: Sequence[TaskRecord]) -> str:
+    """Table of failed runtime tasks (empty string when none failed)."""
+    failed = [record for record in records if not record.ok]
+    if not failed:
+        return ""
+    rows = [
+        (
+            record.task.experiment,
+            record.task.protocol,
+            record.task.repeat,
+            (record.error or "unknown error").splitlines()[0],
+        )
+        for record in failed
+    ]
+    return format_table(("experiment", "protocol", "repeat", "error"), rows)
 
 
 def render_sweep_report(

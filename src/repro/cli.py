@@ -4,12 +4,22 @@
 the same tables EXPERIMENTS.md records::
 
     perigee-sim figure3a --num-nodes 300 --rounds 12
+    perigee-sim figure3a --workers 4 --store runs/
     perigee-sim figure4a --num-nodes 200
     perigee-sim figure5
+    perigee-sim resume --store runs/ --workers 4
     perigee-sim list
 
+``--workers N`` fans the protocol x repeat grid out over ``N`` worker
+processes (bit-for-bit identical results to serial execution).  ``--store
+DIR`` persists every task's raw results to an append-only JSONL store; an
+interrupted sweep can then be completed with the ``resume`` subcommand,
+which re-expands the sweeps recorded in the store and executes only the
+tasks that are still missing.
+
 The CLI intentionally exposes only the experiment-level knobs (size, rounds,
-repeats, seed); anything finer grained is available through the Python API.
+repeats, seed, workers, store); anything finer grained is available through
+the Python API.
 """
 
 from __future__ import annotations
@@ -23,7 +33,15 @@ from repro.analysis.experiments import (
     ProcessingDelaySweepResult,
     run_experiment,
 )
-from repro.analysis.reporting import render_experiment_report, render_sweep_report
+from repro.analysis.reporting import (
+    render_experiment_report,
+    render_failure_report,
+    render_sweep_report,
+    render_task_progress,
+)
+from repro.runtime.aggregate import records_to_result
+from repro.runtime.executor import execute_sweep, make_executor
+from repro.runtime.store import ResultStore
 from repro.version import __version__
 
 
@@ -44,6 +62,16 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser = subparsers.add_parser("list", help="list available experiments")
     list_parser.set_defaults(command="list")
 
+    resume_parser = subparsers.add_parser(
+        "resume", help="complete the missing tasks of a stored sweep"
+    )
+    resume_parser.add_argument(
+        "--store", required=True, help="result store directory of the sweep"
+    )
+    resume_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes"
+    )
+
     for name in EXPERIMENTS:
         experiment_parser = subparsers.add_parser(
             name, help=f"run the {name} experiment"
@@ -57,6 +85,17 @@ def build_parser() -> argparse.ArgumentParser:
         experiment_parser.add_argument(
             "--seed", type=int, default=0, help="random seed"
         )
+        experiment_parser.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="worker processes for the protocol x repeat grid",
+        )
+        experiment_parser.add_argument(
+            "--store",
+            default=None,
+            help="directory persisting raw task results (enables resume)",
+        )
         if name != "figure5":
             experiment_parser.add_argument(
                 "--repeats",
@@ -67,6 +106,36 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _progress_printer(done: int, total: int, record) -> None:
+    print(render_task_progress(done, total, record), file=sys.stderr)
+
+
+def _run_resume(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    specs = store.load_specs()
+    if not specs:
+        print(f"no stored sweeps found in {store.directory}", file=sys.stderr)
+        return 1
+    executor = make_executor(args.workers)
+    exit_code = 0
+    for name, spec in specs.items():
+        records = execute_sweep(
+            spec, executor=executor, store=store, progress=_progress_printer
+        )
+        executed = sum(1 for record in records if not record.cached)
+        cached = len(records) - executed
+        print(f"sweep {name}: {executed} task(s) executed, {cached} from store")
+        try:
+            result = records_to_result(records, name=name)
+        except RuntimeError:
+            print(f"sweep {name} has failed tasks:", file=sys.stderr)
+            print(render_failure_report(records), file=sys.stderr)
+            exit_code = 1
+            continue
+        print(render_experiment_report(result))
+    return exit_code
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -74,17 +143,25 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command is None:
         parser.print_help()
         return 1
+    if getattr(args, "workers", 1) < 1:
+        parser.error("--workers must be a positive integer")
     if args.command == "list":
         for name in EXPERIMENTS:
             print(name)
         return 0
+    if args.command == "resume":
+        return _run_resume(args)
     kwargs = {
         "num_nodes": args.num_nodes,
         "rounds": args.rounds,
         "seed": args.seed,
+        "workers": args.workers,
+        "store": args.store,
     }
     if getattr(args, "repeats", None) is not None:
         kwargs["repeats"] = args.repeats
+    if args.workers > 1 or args.store is not None:
+        kwargs["progress"] = _progress_printer
     result = run_experiment(args.command, **kwargs)
     if isinstance(result, ProcessingDelaySweepResult):
         print("Figure 4(a) validation-delay sweep")

@@ -172,6 +172,38 @@ class SimulationConfig:
             "block_size_kb": self.block_size_kb,
         }
 
+    def to_dict(self) -> dict[str, Any]:
+        """Lossless dictionary form covering *every* field.
+
+        Unlike :meth:`describe` (a human-oriented summary), this is the
+        round-trippable serialisation used by the runtime layer to embed a
+        configuration in persisted task records.  ``extra`` values must be
+        JSON-serialisable for the record store to accept the task.
+        """
+        return {
+            "num_nodes": self.num_nodes,
+            "out_degree": self.out_degree,
+            "max_incoming": self.max_incoming,
+            "blocks_per_round": self.blocks_per_round,
+            "exploration_peers": self.exploration_peers,
+            "validation_delay_ms": self.validation_delay_ms,
+            "validation_delay_jitter": self.validation_delay_jitter,
+            "hash_power_distribution": self.hash_power_distribution,
+            "latency_model": self.latency_model,
+            "metric_dimension": self.metric_dimension,
+            "hash_power_target": self.hash_power_target,
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "bandwidth_mbps": self.bandwidth_mbps,
+            "block_size_kb": self.block_size_kb,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationConfig":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+        return cls(**dict(data))
+
 
 def default_config(**overrides: Any) -> SimulationConfig:
     """Return the paper's default configuration, optionally overridden.

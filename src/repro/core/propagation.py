@@ -208,28 +208,30 @@ class PropagationEngine:
         whole round at once.
         """
         edges = network.to_numpy_edges()
-        out: dict[tuple[int, int], np.ndarray] = {}
         if edges.shape[0] == 0:
-            return out
-        arrival = result.arrival_times  # (B, N)
+            return {}
         sources = result.sources  # (B,)
         u = edges[:, 0]
         v = edges[:, 1]
         delta = self._latency_matrix[u, v]  # (E,)
+        # Work in (E, B) layout throughout: fancy-indexing the transposed
+        # arrival matrix yields one contiguous per-edge row per directed
+        # edge, so the final dicts are built by a single C-level zip over
+        # rows instead of E Python-level column slices.
+        arrival_by_node = np.ascontiguousarray(result.arrival_times.T)  # (N, B)
         # Validation delay applies unless the forwarding node is the miner.
         val_u = np.where(
-            sources[:, None] == u[None, :], 0.0, self._validation[u][None, :]
-        )  # (B, E)
+            u[:, None] == sources[None, :], 0.0, self._validation[u][:, None]
+        )  # (E, B)
         val_v = np.where(
-            sources[:, None] == v[None, :], 0.0, self._validation[v][None, :]
+            v[:, None] == sources[None, :], 0.0, self._validation[v][:, None]
         )
-        t_u_to_v = arrival[:, u] + val_u + delta[None, :]  # (B, E)
-        t_v_to_u = arrival[:, v] + val_v + delta[None, :]
-        for edge_index in range(edges.shape[0]):
-            uu = int(u[edge_index])
-            vv = int(v[edge_index])
-            out[(uu, vv)] = t_u_to_v[:, edge_index]
-            out[(vv, uu)] = t_v_to_u[:, edge_index]
+        t_u_to_v = arrival_by_node[u] + val_u + delta[:, None]  # (E, B)
+        t_v_to_u = arrival_by_node[v] + val_v + delta[:, None]
+        u_ids = u.tolist()
+        v_ids = v.tolist()
+        out = dict(zip(zip(u_ids, v_ids), t_u_to_v))
+        out.update(zip(zip(v_ids, u_ids), t_v_to_u))
         return out
 
     def _forward_time(

@@ -1,0 +1,76 @@
+"""Parallel experiment runtime with a persistent, resumable result store.
+
+The paper's evaluation is an embarrassingly parallel grid — protocols x
+repeats x parameter sweeps — and this package turns that grid into explicit,
+self-contained units of work:
+
+* :mod:`repro.runtime.tasks` — declarative :class:`SweepSpec`/:class:`Task`
+  model with deterministic per-task seeds derived from
+  ``numpy.random.SeedSequence`` spawn keys (no shared RNG stream across
+  tasks, so serial and parallel execution are bit-for-bit identical);
+* :mod:`repro.runtime.scenarios` — named, picklable environment builders
+  (population + latency model) replacing ad-hoc closures, so tasks can cross
+  process boundaries;
+* :mod:`repro.runtime.executor` — :class:`SerialExecutor` and a
+  process-pool :class:`ParallelExecutor` with per-task timing, progress
+  callbacks and failure isolation;
+* :mod:`repro.runtime.store` — append-only JSONL result store keyed by task
+  content hash, giving free caching and resume of interrupted sweeps;
+* :mod:`repro.runtime.aggregate` — reduction from stored task records back
+  to the analysis-layer ``ExperimentResult``/``DelayCurve`` objects.
+
+Typical use, mirroring ``perigee-sim figure3a --workers 4 --store runs/``::
+
+    from repro.analysis.experiments import run_figure3a
+
+    result = run_figure3a(num_nodes=300, workers=4, store="runs/")
+
+or, one level down::
+
+    from repro.runtime import (
+        ParallelExecutor, ResultStore, SweepSpec, execute_sweep,
+        records_to_result,
+    )
+
+    spec = SweepSpec(name="demo", config=config, protocols=("random", "ideal"))
+    records = execute_sweep(
+        spec, executor=ParallelExecutor(workers=4), store=ResultStore("runs/")
+    )
+    result = records_to_result(records)
+"""
+
+from repro.runtime.aggregate import failed_records, mean_curve, records_to_result
+from repro.runtime.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    execute_sweep,
+    make_executor,
+    run_task,
+)
+from repro.runtime.scenarios import (
+    Scenario,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+)
+from repro.runtime.store import ResultStore
+from repro.runtime.tasks import SweepSpec, Task, TaskRecord
+
+__all__ = [
+    "ParallelExecutor",
+    "ResultStore",
+    "Scenario",
+    "SerialExecutor",
+    "SweepSpec",
+    "Task",
+    "TaskRecord",
+    "available_scenarios",
+    "execute_sweep",
+    "failed_records",
+    "get_scenario",
+    "make_executor",
+    "mean_curve",
+    "records_to_result",
+    "register_scenario",
+    "run_task",
+]

@@ -1,0 +1,120 @@
+"""Reduction from stored task records back to analysis-layer results.
+
+Records are the persisted, per-task raw material (unsorted reach times);
+this module rebuilds the objects the reporting/figure code consumes:
+per-protocol mean :class:`~repro.metrics.delay.DelayCurve` objects bundled
+into an ``ExperimentResult``.  The reduction is identical to what the old
+serial loop computed inline, so a sweep executed through the runtime — in
+any order, across any number of processes, possibly partially served from a
+store — aggregates to byte-identical curves.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.metrics.delay import DelayCurve, delay_curve
+from repro.metrics.topology import EdgeLatencyHistogram
+from repro.runtime.tasks import TaskRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.experiments import ExperimentResult
+
+
+def mean_curve(
+    curves: Sequence[DelayCurve], protocol: str, target: float
+) -> DelayCurve:
+    """Average sorted per-node curves across repeats (element-wise)."""
+    stacked = np.vstack([curve.sorted_delays_ms for curve in curves])
+    return DelayCurve(
+        protocol=protocol,
+        sorted_delays_ms=stacked.mean(axis=0),
+        target_fraction=target,
+    )
+
+
+def failed_records(records: Sequence[TaskRecord]) -> list[TaskRecord]:
+    """The subset of records whose task failed."""
+    return [record for record in records if not record.ok]
+
+
+def _histogram_from_payload(payload: dict) -> EdgeLatencyHistogram:
+    return EdgeLatencyHistogram(
+        protocol=payload["protocol"],
+        bin_edges_ms=np.asarray(payload["bin_edges_ms"], dtype=float),
+        counts=np.asarray(payload["counts"], dtype=int),
+        mean_ms=float(payload["mean_ms"]),
+        median_ms=float(payload["median_ms"]),
+        low_mode_fraction=float(payload["low_mode_fraction"]),
+    )
+
+
+def records_to_result(
+    records: Sequence[TaskRecord],
+    name: str | None = None,
+    strict: bool = True,
+) -> "ExperimentResult":
+    """Aggregate task records into an ``ExperimentResult``.
+
+    Parameters
+    ----------
+    records:
+        Records in task order (repeat-major), e.g. the return value of
+        :func:`repro.runtime.executor.execute_sweep`.
+    name:
+        Experiment name; defaults to the name carried by the first record.
+    strict:
+        When ``True`` (the default), any failed record raises a
+        ``RuntimeError`` naming the failed cells.  When ``False``, failed
+        records are dropped and protocols average over their successful
+        repeats only (a protocol with no successful repeat still raises).
+    """
+    from repro.analysis.experiments import ExperimentResult
+
+    if not records:
+        raise ValueError("records must be non-empty")
+    failures = failed_records(records)
+    if failures and strict:
+        summary = "; ".join(
+            f"{record.task.protocol}[repeat={record.task.repeat}]: "
+            f"{(record.error or 'unknown error').splitlines()[0]}"
+            for record in failures
+        )
+        raise RuntimeError(f"{len(failures)} task(s) failed: {summary}")
+
+    usable = [record for record in records if record.ok]
+    if not usable:
+        raise RuntimeError("no successful task records to aggregate")
+    first = usable[0]
+    config = first.task.config
+    target = config.hash_power_target
+    result = ExperimentResult(
+        name=name if name is not None else first.task.experiment, config=config
+    )
+
+    protocols: list[str] = []
+    per_protocol_90: dict[str, list[DelayCurve]] = {}
+    per_protocol_50: dict[str, list[DelayCurve]] = {}
+    for record in usable:
+        protocol = record.task.protocol
+        if protocol not in per_protocol_90:
+            protocols.append(protocol)
+            per_protocol_90[protocol] = []
+            per_protocol_50[protocol] = []
+        per_protocol_90[protocol].append(
+            delay_curve(np.asarray(record.reach90, dtype=float), protocol, target)
+        )
+        per_protocol_50[protocol].append(
+            delay_curve(np.asarray(record.reach50, dtype=float), protocol, 0.5)
+        )
+        if record.histogram is not None and protocol not in result.histograms:
+            result.histograms[protocol] = _histogram_from_payload(record.histogram)
+
+    for protocol in protocols:
+        result.curves[protocol] = mean_curve(
+            per_protocol_90[protocol], protocol, target
+        )
+        result.curves_50[protocol] = mean_curve(per_protocol_50[protocol], protocol, 0.5)
+    return result

@@ -1,0 +1,260 @@
+"""Task execution: serial and process-pool parallel executors.
+
+:func:`run_task` is the single function both executors run — it rebuilds the
+task's environment from its seeds, runs the protocol, and returns a
+:class:`TaskRecord`.  Because the function is deterministic and every task
+carries its own spawned seed streams, ``ParallelExecutor`` produces
+bit-for-bit the same records as ``SerialExecutor``.
+
+Failure isolation: ``run_task`` converts any exception into a ``"failed"``
+record carrying the traceback, so one crashed cell never kills the sweep;
+the aggregation layer decides how to surface failures.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.simulator import Simulator
+from repro.metrics.delay import hash_power_reach_times
+from repro.metrics.topology import edge_latency_histogram
+from repro.protocols.registry import make_protocol
+from repro.runtime.scenarios import Scenario, get_scenario
+from repro.runtime.store import ResultStore
+from repro.runtime.tasks import SweepSpec, Task, TaskRecord
+
+#: ``progress(done, total, record)`` — called after every completed task.
+ProgressCallback = Callable[[int, int, TaskRecord], None]
+
+#: Signature of the per-task work function executors run.
+RunFunction = Callable[[Task], TaskRecord]
+
+
+def _histogram_payload(histogram) -> dict:
+    return {
+        "protocol": histogram.protocol,
+        "bin_edges_ms": [float(x) for x in histogram.bin_edges_ms],
+        "counts": [int(x) for x in histogram.counts],
+        "mean_ms": float(histogram.mean_ms),
+        "median_ms": float(histogram.median_ms),
+        "low_mode_fraction": float(histogram.low_mode_fraction),
+    }
+
+
+def run_task(task: Task, scenario: Scenario | None = None) -> TaskRecord:
+    """Execute one task and return its record (never raises).
+
+    Parameters
+    ----------
+    task:
+        The task to run.
+    scenario:
+        Optional scenario override; by default the task's scenario name is
+        resolved through the registry (which is what worker processes do).
+        Passing an explicit scenario supports legacy closure-based builders
+        on the serial path.
+    """
+    start = time.perf_counter()
+    key = task.content_hash()
+    try:
+        config = task.config
+        resolved = scenario if scenario is not None else get_scenario(task.scenario)
+        params = task.scenario_params
+        env_rng = np.random.default_rng(task.environment_seed())
+        population = resolved.build_population(config, params, env_rng)
+        latency = resolved.build_latency(config, population, params, env_rng)
+        protocol = make_protocol(task.protocol)
+        simulator = Simulator(
+            config=config,
+            protocol=protocol,
+            population=population,
+            latency=latency,
+            rng=np.random.default_rng(task.protocol_seed()),
+        )
+        if protocol.is_adaptive:
+            for round_index in range(task.rounds):
+                simulator.run_round(round_index)
+        arrival = simulator.engine.all_sources_arrival_times(simulator.network)
+        reach90 = hash_power_reach_times(
+            arrival, population.hash_power, config.hash_power_target
+        )
+        reach50 = hash_power_reach_times(arrival, population.hash_power, 0.5)
+        histogram = None
+        if task.collect_histogram:
+            histogram = _histogram_payload(
+                edge_latency_histogram(simulator.network, latency, task.protocol)
+            )
+        return TaskRecord(
+            key=key,
+            task=task,
+            status="ok",
+            duration_s=time.perf_counter() - start,
+            reach90=[float(x) for x in reach90],
+            reach50=[float(x) for x in reach50],
+            histogram=histogram,
+        )
+    except Exception as error:  # noqa: BLE001 - failure isolation by design
+        return TaskRecord(
+            key=key,
+            task=task,
+            status="failed",
+            error=f"{type(error).__name__}: {error}\n{traceback.format_exc()}",
+            duration_s=time.perf_counter() - start,
+        )
+
+
+def _failure_record(task: Task, error: BaseException) -> TaskRecord:
+    return TaskRecord(
+        key=task.content_hash(),
+        task=task,
+        status="failed",
+        error=f"{type(error).__name__}: {error}",
+    )
+
+
+class Executor(Protocol):
+    """Common executor interface (structural, for typing only)."""
+
+    def map(
+        self,
+        tasks: Sequence[Task],
+        run: RunFunction = run_task,
+        progress: ProgressCallback | None = None,
+    ) -> list[TaskRecord]: ...
+
+
+def make_executor(workers: int) -> "SerialExecutor | ParallelExecutor":
+    """Resolve a worker count to an executor (1 = serial in-process)."""
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    return ParallelExecutor(workers=workers) if workers > 1 else SerialExecutor()
+
+
+class SerialExecutor:
+    """Run tasks one after another in the current process."""
+
+    workers = 1
+
+    def map(
+        self,
+        tasks: Sequence[Task],
+        run: RunFunction = run_task,
+        progress: ProgressCallback | None = None,
+    ) -> list[TaskRecord]:
+        records: list[TaskRecord] = []
+        for index, task in enumerate(tasks):
+            try:
+                record = run(task)
+            except Exception as error:  # noqa: BLE001 - custom run functions
+                record = _failure_record(task, error)
+            records.append(record)
+            if progress is not None:
+                progress(index + 1, len(tasks), record)
+        return records
+
+
+class ParallelExecutor:
+    """Run tasks across a pool of worker processes.
+
+    Tasks and the ``run`` function must be picklable — :func:`run_task` and
+    the declarative :class:`Task` model are; closure-based scenario overrides
+    are not (use :class:`SerialExecutor` for those).
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to ``os.cpu_count()``.
+    mp_context:
+        Optional ``multiprocessing`` context (e.g. to force ``spawn``).
+    """
+
+    def __init__(self, workers: int | None = None, mp_context=None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be positive")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self._mp_context = mp_context
+
+    def map(
+        self,
+        tasks: Sequence[Task],
+        run: RunFunction = run_task,
+        progress: ProgressCallback | None = None,
+    ) -> list[TaskRecord]:
+        if not tasks:
+            return []
+        records: list[TaskRecord | None] = [None] * len(tasks)
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(tasks)),
+            mp_context=self._mp_context,
+        ) as pool:
+            future_index = {
+                pool.submit(run, task): index for index, task in enumerate(tasks)
+            }
+            done_count = 0
+            pending = set(future_index)
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index = future_index[future]
+                    try:
+                        record = future.result()
+                    except Exception as error:  # noqa: BLE001 - pool crashes
+                        record = _failure_record(tasks[index], error)
+                    records[index] = record
+                    done_count += 1
+                    if progress is not None:
+                        progress(done_count, len(tasks), record)
+        return [record for record in records if record is not None]
+
+
+def execute_sweep(
+    spec: SweepSpec,
+    executor: Executor | None = None,
+    store: ResultStore | None = None,
+    progress: ProgressCallback | None = None,
+    run: RunFunction = run_task,
+) -> list[TaskRecord]:
+    """Expand a sweep, execute missing tasks, and return records in task order.
+
+    When a store is given the spec is persisted (so ``perigee-sim resume``
+    can rebuild it), previously completed tasks are served from the store
+    (marked ``cached=True``), and newly produced records — including
+    failures — are appended.  Interrupting and re-running with the same
+    store therefore completes only the missing tasks.
+    """
+    executor = executor if executor is not None else SerialExecutor()
+    tasks = spec.expand()
+    cached: dict[str, TaskRecord] = {}
+    if store is not None:
+        store.save_spec(spec)
+        existing = store.load()
+        for task in tasks:
+            record = existing.get(task.content_hash())
+            if record is not None and record.ok:
+                cached[record.key] = record.mark_cached()
+    pending = [task for task in tasks if task.content_hash() not in cached]
+
+    # Progress counts the whole grid: cached records are reported first so
+    # the user sees "[k/total] ... (store)" lines, then live tasks continue
+    # the count.
+    if progress is not None:
+        for done, record in enumerate(cached.values(), start=1):
+            progress(done, len(tasks), record)
+
+    def on_complete(done: int, total: int, record: TaskRecord) -> None:
+        # Persist immediately so a killed sweep keeps every finished task.
+        if store is not None:
+            store.append(record)
+        if progress is not None:
+            progress(done + len(cached), len(tasks), record)
+
+    fresh = executor.map(pending, run=run, progress=on_complete)
+    by_key = dict(cached)
+    by_key.update({record.key: record for record in fresh})
+    return [by_key[task.content_hash()] for task in tasks]

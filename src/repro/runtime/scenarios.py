@@ -1,0 +1,193 @@
+"""Named environment scenarios: picklable population/latency builders.
+
+The figure runners used to customise their environment with local closures
+(``population_builder``/``latency_builder``).  Closures cannot cross process
+boundaries, so the runtime replaces them with *named scenarios*: module-level
+builder functions looked up by name in a registry.  A task only carries the
+scenario name plus JSON parameters, and each worker resolves the same
+builders locally.
+
+Builders receive the repeat's environment RNG and must consume it
+identically regardless of which protocol's task invoked them — the
+environment stream depends only on ``(seed, repeat)``, so every protocol in
+a repeat regenerates the exact same population and latency matrix (the
+paper's shared-draw methodology) without any cross-process sharing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.datasets.bitnodes import NodePopulation, generate_population
+from repro.latency.base import LatencyModel
+from repro.latency.geo import GeographicLatencyModel
+from repro.latency.relay import (
+    DEFAULT_MINER_SPEEDUP,
+    DEFAULT_RELAY_LINK_MS,
+    DEFAULT_RELAY_SIZE,
+    RelayNetworkOverlay,
+    apply_miner_speedup,
+    apply_relay_overlay,
+    build_relay_tree,
+)
+
+PopulationBuilder = Callable[
+    [SimulationConfig, Mapping[str, Any], np.random.Generator], NodePopulation
+]
+LatencyBuilder = Callable[
+    [
+        SimulationConfig,
+        NodePopulation,
+        Mapping[str, Any],
+        np.random.Generator,
+    ],
+    LatencyModel,
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Bundle of environment builders a task resolves by name.
+
+    ``build_population`` is called first and may consume the RNG;
+    ``build_latency`` continues on the *same* RNG stream, mirroring how the
+    legacy serial loop interleaved the two draws.
+    """
+
+    name: str
+    build_population: PopulationBuilder
+    build_latency: LatencyBuilder
+
+
+def _default_population(
+    config: SimulationConfig,
+    params: Mapping[str, Any],
+    rng: np.random.Generator,
+) -> NodePopulation:
+    return generate_population(config, rng)
+
+
+def _default_latency(
+    config: SimulationConfig,
+    population: NodePopulation,
+    params: Mapping[str, Any],
+    rng: np.random.Generator,
+) -> LatencyModel:
+    return GeographicLatencyModel(population.nodes, rng)
+
+
+def _miner_speedup_latency(
+    config: SimulationConfig,
+    population: NodePopulation,
+    params: Mapping[str, Any],
+    rng: np.random.Generator,
+) -> LatencyModel:
+    """Figure 4(b): fast interconnects among the high-power miners."""
+    base = GeographicLatencyModel(population.nodes, rng)
+    speedup = float(params.get("speedup", DEFAULT_MINER_SPEEDUP))
+    return apply_miner_speedup(base, population.high_power_miners, speedup=speedup)
+
+
+def _relay_population(
+    config: SimulationConfig,
+    params: Mapping[str, Any],
+    rng: np.random.Generator,
+) -> NodePopulation:
+    """Figure 4(c): flag a random subset of nodes as fast relay members."""
+    population = generate_population(config, rng)
+    relay_size = int(params.get("relay_size", DEFAULT_RELAY_SIZE))
+    relay_size = min(relay_size, max(2, config.num_nodes // 3))
+    link_ms = float(params.get("relay_link_ms", DEFAULT_RELAY_LINK_MS))
+    validation_scale = float(params.get("relay_validation_scale", 0.1))
+    overlay = build_relay_tree(
+        config.num_nodes, rng, size=relay_size, link_latency_ms=link_ms
+    )
+    return population.with_relay_members(
+        overlay.members, validation_scale=validation_scale
+    )
+
+
+def _relay_latency(
+    config: SimulationConfig,
+    population: NodePopulation,
+    params: Mapping[str, Any],
+    rng: np.random.Generator,
+) -> LatencyModel:
+    """Figure 4(c): low-latency relay tree over the flagged members.
+
+    The relay tree is rebuilt deterministically over the members the
+    population builder flagged (a 3-ary tree in member order), so the fast
+    links connect exactly the nodes whose validation delay was reduced.
+    """
+    base = GeographicLatencyModel(population.nodes, rng)
+    link_ms = float(params.get("relay_link_ms", DEFAULT_RELAY_LINK_MS))
+    members = tuple(node.node_id for node in population.nodes if node.is_relay)
+    overlay = RelayNetworkOverlay(
+        members=members,
+        tree_parent=tuple(
+            -1 if index == 0 else members[(index - 1) // 3]
+            for index in range(len(members))
+        ),
+        link_latency_ms=link_ms,
+    )
+    return apply_relay_overlay(base, overlay, member_pair_latency_ms=link_ms * 4)
+
+
+_SCENARIOS: dict[str, Scenario] = {
+    "default": Scenario(
+        name="default",
+        build_population=_default_population,
+        build_latency=_default_latency,
+    ),
+    "miner-speedup": Scenario(
+        name="miner-speedup",
+        build_population=_default_population,
+        build_latency=_miner_speedup_latency,
+    ),
+    "relay": Scenario(
+        name="relay",
+        build_population=_relay_population,
+        build_latency=_relay_latency,
+    ),
+}
+
+
+def available_scenarios() -> list[str]:
+    """Names of all registered scenarios, in a stable order."""
+    return list(_SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError as error:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(_SCENARIOS)}"
+        ) from error
+
+
+def register_scenario(scenario: Scenario) -> None:
+    """Register a custom scenario.
+
+    For parallel execution the builders must be importable module-level
+    functions (process pools pickle tasks by scenario *name* and resolve the
+    registry in each worker, so the registration must also happen at import
+    time in the worker, e.g. in the module defining the builders).
+    """
+    if not scenario.name:
+        raise ValueError("scenario name must be non-empty")
+    if scenario.name in _SCENARIOS:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    _SCENARIOS[scenario.name] = scenario
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a custom scenario; built-ins cannot be removed."""
+    if name in ("default", "miner-speedup", "relay"):
+        raise ValueError(f"cannot unregister built-in scenario {name!r}")
+    _SCENARIOS.pop(name, None)

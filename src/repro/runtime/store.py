@@ -1,0 +1,135 @@
+"""On-disk, append-only JSONL result store keyed by task content hash.
+
+Layout of a store directory::
+
+    <store>/
+        results.jsonl   # one TaskRecord JSON object per line, append-only
+        sweeps.json     # SweepSpec serialisations keyed by sweep name
+
+Design notes
+------------
+* **Append-only JSONL** makes interrupted writes cheap to tolerate: a
+  truncated trailing line (e.g. the process was killed mid-write) is
+  skipped on load, and everything before it remains valid.
+* **Content-hash keys** give free caching: re-running any sweep against the
+  same store skips every task whose full description (config, protocol,
+  repeat, rounds, scenario, parameters) is unchanged; the last record per
+  key wins, so failed tasks are retried and their failure records are
+  superseded.
+* **Exact floats**: ``json`` serialises floats via ``repr``, the shortest
+  round-trip representation, so delay values survive a store round-trip
+  bit-for-bit and resumed sweeps aggregate to byte-identical curves.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from repro.runtime.tasks import TaskRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.tasks import SweepSpec
+
+RESULTS_FILENAME = "results.jsonl"
+SWEEPS_FILENAME = "sweeps.json"
+
+
+class ResultStore:
+    """Persistent record store bound to one directory.
+
+    The directory is created lazily on first write, so read-only operations
+    (e.g. a ``resume`` lookup against a mistyped path) leave no trace.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self._directory = Path(directory)
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    @property
+    def results_path(self) -> Path:
+        return self._directory / RESULTS_FILENAME
+
+    @property
+    def sweeps_path(self) -> Path:
+        return self._directory / SWEEPS_FILENAME
+
+    # ------------------------------------------------------------------ #
+    # Task records
+    # ------------------------------------------------------------------ #
+    def append(self, record: TaskRecord) -> None:
+        """Append one record; flushed so a crash loses at most one line."""
+        line = json.dumps(record.to_dict(), sort_keys=True)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        with self.results_path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def iter_records(self) -> Iterator[TaskRecord]:
+        """Yield all parseable records in append order."""
+        if not self.results_path.exists():
+            return
+        with self.results_path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    # Truncated trailing line from an interrupted write.
+                    continue
+                yield TaskRecord.from_dict(payload)
+
+    def load(self) -> dict[str, TaskRecord]:
+        """All records keyed by content hash; the last write per key wins."""
+        records: dict[str, TaskRecord] = {}
+        for record in self.iter_records():
+            records[record.key] = record
+        return records
+
+    def __contains__(self, key: str) -> bool:
+        """Membership test; re-reads the file — use :meth:`load` for bulk checks."""
+        return key in self.load()
+
+    def __len__(self) -> int:
+        """Number of distinct task keys; re-reads the file on every call."""
+        return len(self.load())
+
+    # ------------------------------------------------------------------ #
+    # Sweep specs (what `perigee-sim resume` rebuilds tasks from)
+    # ------------------------------------------------------------------ #
+    def save_spec(self, spec: "SweepSpec") -> None:
+        """Persist (or update) a sweep spec under its name."""
+        specs = self._load_spec_dicts()
+        specs[spec.name] = spec.to_dict()
+        self._directory.mkdir(parents=True, exist_ok=True)
+        tmp_path = self.sweeps_path.with_suffix(".json.tmp")
+        tmp_path.write_text(
+            json.dumps(specs, sort_keys=True, indent=2), encoding="utf-8"
+        )
+        tmp_path.replace(self.sweeps_path)
+
+    def _load_spec_dicts(self) -> dict[str, dict]:
+        if not self.sweeps_path.exists():
+            return {}
+        try:
+            payload = json.loads(self.sweeps_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            return {}
+        return payload if isinstance(payload, dict) else {}
+
+    def load_specs(self) -> dict[str, "SweepSpec"]:
+        """All persisted sweep specs keyed by name."""
+        from repro.runtime.tasks import SweepSpec
+
+        return {
+            name: SweepSpec.from_dict(data)
+            for name, data in self._load_spec_dicts().items()
+        }

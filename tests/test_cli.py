@@ -29,6 +29,21 @@ class TestParser:
         assert args.num_nodes == 50
         assert args.rounds == 2
 
+    def test_parser_has_runtime_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["figure3a", "--workers", "4", "--store", "runs/"]
+        )
+        assert args.workers == 4
+        assert args.store == "runs/"
+
+    def test_parser_has_resume_subcommand(self):
+        parser = build_parser()
+        args = parser.parse_args(["resume", "--store", "runs/", "--workers", "2"])
+        assert args.command == "resume"
+        assert args.store == "runs/"
+        assert args.workers == 2
+
 
 class TestExecution:
     def test_run_small_figure3a(self, capsys):
@@ -43,3 +58,32 @@ class TestExecution:
         assert code == 0
         output = capsys.readouterr().out
         assert "validation-delay sweep" in output
+
+    def test_run_with_store_then_resume(self, capsys, tmp_path):
+        store = str(tmp_path / "runs")
+        code = main(
+            [
+                "figure3a",
+                "--num-nodes",
+                "40",
+                "--rounds",
+                "2",
+                "--store",
+                store,
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "experiment: figure3a" in captured.out
+        assert "[1/" in captured.err  # progress lines go to stderr
+
+        code = main(["resume", "--store", store])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "0 task(s) executed" in captured.out
+        assert "experiment: figure3a" in captured.out
+
+    def test_resume_empty_store_fails(self, capsys, tmp_path):
+        code = main(["resume", "--store", str(tmp_path / "empty")])
+        assert code == 1
+        assert "no stored sweeps" in capsys.readouterr().err
