@@ -130,6 +130,47 @@ def _resolve_store(store):
     return ResultStore(os.fspath(store))
 
 
+def _execute_spec(
+    spec: SweepSpec,
+    workers: int = 1,
+    store=None,
+    executor=None,
+    progress: ProgressCallback | None = None,
+    cluster: bool = False,
+    run=run_task,
+):
+    """Shared execution path: resolve store/executor, run the sweep.
+
+    ``cluster=True`` routes the sweep through the store-backed distributed
+    queue (:class:`~repro.runtime.cluster.ClusterExecutor`): tasks are
+    published to ``<store>/cluster/`` where any number of external
+    ``perigee-sim worker`` processes help drain them, with this process
+    participating as one inline worker.
+    """
+    resolved_store = _resolve_store(store)
+    if cluster:
+        if resolved_store is None:
+            raise ValueError(
+                "cluster execution needs a result store (the on-disk work "
+                "queue lives inside it); pass store=/--store"
+            )
+        if workers > 1:
+            raise ValueError(
+                "cluster execution drains through the store's work queue; "
+                "start extra 'perigee-sim worker' processes instead of "
+                "passing workers > 1"
+            )
+        if executor is None:
+            from repro.runtime.cluster import ClusterExecutor
+
+            executor = ClusterExecutor(resolved_store)
+    else:
+        executor = _resolve_executor(workers, executor)
+    return execute_sweep(
+        spec, executor=executor, store=resolved_store, progress=progress, run=run
+    )
+
+
 def compare_protocols(
     config: SimulationConfig,
     protocol_names: tuple[str, ...] | list[str],
@@ -145,6 +186,7 @@ def compare_protocols(
     store=None,
     executor=None,
     progress: ProgressCallback | None = None,
+    cluster: bool = False,
 ) -> ExperimentResult:
     """Run several protocols on shared populations and return their curves.
 
@@ -182,6 +224,10 @@ def compare_protocols(
         Explicit executor instance overriding ``workers``.
     progress:
         Optional ``(done, total, record)`` callback invoked per finished task.
+    cluster:
+        Execute through the distributed store-backed work queue instead of
+        an in-process pool (requires ``store``); external ``perigee-sim
+        worker`` processes sharing the store cooperate on the grid.
     """
     if repeats < 1:
         raise ValueError("repeats must be positive")
@@ -198,23 +244,24 @@ def compare_protocols(
     )
     run = run_task
     if latency_builder is not None or population_builder is not None:
-        if workers > 1 or executor is not None or store is not None:
+        if workers > 1 or executor is not None or store is not None or cluster:
             raise ValueError(
                 "closure-based latency_builder/population_builder cannot be "
                 "pickled; register a scenario (repro.runtime.scenarios) to "
-                "use workers or a result store"
+                "use workers, a result store, or cluster execution"
             )
         custom = _legacy_scenario(latency_builder, population_builder)
 
         def run(task):  # serial-only closure over the legacy builders
             return run_task(task, scenario=custom)
 
-    resolved_executor = _resolve_executor(workers, executor)
-    records = execute_sweep(
+    records = _execute_spec(
         spec,
-        executor=resolved_executor,
-        store=_resolve_store(store),
+        workers=workers,
+        store=store,
+        executor=executor,
         progress=progress,
+        cluster=cluster,
         run=run,
     )
     return records_to_result(records, name=experiment_name)
@@ -245,7 +292,194 @@ def _legacy_scenario(latency_builder, population_builder) -> Scenario:
 
 
 # --------------------------------------------------------------------------- #
-# Figure 3: default setting and exponential hash power
+# Sweep-spec builders, one per figure
+#
+# Building the SweepSpec is separate from running it so the distributed path
+# (`perigee-sim submit`) can enqueue a figure's exact task grid — identical
+# content hashes — without executing anything in-process.
+# --------------------------------------------------------------------------- #
+def figure3a_spec(
+    num_nodes: int = 300,
+    rounds: int = 25,
+    repeats: int = 1,
+    seed: int = 0,
+    blocks_per_round: int = 60,
+    protocols: tuple[str, ...] = FIGURE3_PROTOCOLS,
+) -> SweepSpec:
+    """Figure 3(a): uniform hash power, default delays."""
+    config = default_config(
+        num_nodes=num_nodes,
+        rounds=rounds,
+        seed=seed,
+        blocks_per_round=blocks_per_round,
+        hash_power_distribution="uniform",
+    )
+    return SweepSpec(
+        name="figure3a", config=config, protocols=tuple(protocols), repeats=repeats
+    )
+
+
+def figure3b_spec(
+    num_nodes: int = 300,
+    rounds: int = 25,
+    repeats: int = 1,
+    seed: int = 0,
+    blocks_per_round: int = 60,
+    protocols: tuple[str, ...] = FIGURE3_PROTOCOLS,
+) -> SweepSpec:
+    """Figure 3(b): hash power drawn from an exponential distribution."""
+    config = default_config(
+        num_nodes=num_nodes,
+        rounds=rounds,
+        seed=seed,
+        blocks_per_round=blocks_per_round,
+        hash_power_distribution="exponential",
+    )
+    return SweepSpec(
+        name="figure3b", config=config, protocols=tuple(protocols), repeats=repeats
+    )
+
+
+def figure4a_specs(
+    num_nodes: int = 300,
+    rounds: int = 25,
+    repeats: int = 1,
+    seed: int = 0,
+    blocks_per_round: int = 60,
+    scales: tuple[float, ...] = FIGURE4A_SCALES,
+    protocols: tuple[str, ...] = ("random", "perigee-subset"),
+) -> list[SweepSpec]:
+    """Figure 4(a): one sweep per validation-delay scale, 0.1x to 10x."""
+    specs = []
+    for scale in scales:
+        config = default_config(
+            num_nodes=num_nodes,
+            rounds=rounds,
+            seed=seed,
+            blocks_per_round=blocks_per_round,
+            validation_delay_ms=50.0 * scale,
+            hash_power_distribution="uniform",
+        )
+        specs.append(
+            SweepSpec(
+                name=f"figure4a-scale-{scale:g}x",
+                config=config,
+                protocols=tuple(protocols),
+                repeats=repeats,
+            )
+        )
+    return specs
+
+
+def figure4b_spec(
+    num_nodes: int = 300,
+    rounds: int = 25,
+    repeats: int = 1,
+    seed: int = 0,
+    blocks_per_round: int = 60,
+    miner_speedup: float = 0.1,
+    protocols: tuple[str, ...] = ("random", "geographic", "perigee-subset", "ideal"),
+) -> SweepSpec:
+    """Figure 4(b): 10% of nodes hold 90% of hash power, fast links among them."""
+    config = default_config(
+        num_nodes=num_nodes,
+        rounds=rounds,
+        seed=seed,
+        blocks_per_round=blocks_per_round,
+        hash_power_distribution="concentrated",
+    )
+    return SweepSpec(
+        name="figure4b",
+        config=config,
+        protocols=tuple(protocols),
+        repeats=repeats,
+        scenario="miner-speedup",
+        scenario_params={"speedup": miner_speedup},
+    )
+
+
+def figure4c_spec(
+    num_nodes: int = 300,
+    rounds: int = 25,
+    repeats: int = 1,
+    seed: int = 0,
+    blocks_per_round: int = 60,
+    relay_size: int = 100,
+    relay_link_ms: float = 5.0,
+    relay_validation_scale: float = 0.1,
+    protocols: tuple[str, ...] = ("random", "geographic", "perigee-subset", "ideal"),
+) -> SweepSpec:
+    """Figure 4(c): a bloXroute-like low-latency relay tree of 100 nodes."""
+    config = default_config(
+        num_nodes=num_nodes,
+        rounds=rounds,
+        seed=seed,
+        blocks_per_round=blocks_per_round,
+        hash_power_distribution="uniform",
+    )
+    return SweepSpec(
+        name="figure4c",
+        config=config,
+        protocols=tuple(protocols),
+        repeats=repeats,
+        scenario="relay",
+        scenario_params={
+            "relay_size": relay_size,
+            "relay_link_ms": relay_link_ms,
+            "relay_validation_scale": relay_validation_scale,
+        },
+    )
+
+
+def figure5_spec(
+    num_nodes: int = 300,
+    rounds: int = 25,
+    seed: int = 0,
+    blocks_per_round: int = 60,
+    protocols: tuple[str, ...] = FIGURE5_PROTOCOLS,
+) -> SweepSpec:
+    """Figure 5: edge-latency histograms under uniform hash power."""
+    config = default_config(
+        num_nodes=num_nodes,
+        rounds=rounds,
+        seed=seed,
+        blocks_per_round=blocks_per_round,
+        hash_power_distribution="uniform",
+    )
+    return SweepSpec(
+        name="figure5",
+        config=config,
+        protocols=tuple(protocols),
+        repeats=1,
+        collect_histograms=True,
+    )
+
+
+#: name -> builder returning the experiment's sweep specs (most figures are a
+#: single sweep; figure4a is one sweep per validation-delay scale).
+EXPERIMENT_SPECS = {
+    "figure3a": lambda **kw: [figure3a_spec(**kw)],
+    "figure3b": lambda **kw: [figure3b_spec(**kw)],
+    "figure4a": lambda **kw: figure4a_specs(**kw),
+    "figure4b": lambda **kw: [figure4b_spec(**kw)],
+    "figure4c": lambda **kw: [figure4c_spec(**kw)],
+    "figure5": lambda **kw: [figure5_spec(**kw)],
+}
+
+
+def build_experiment_specs(name: str, **kwargs) -> list[SweepSpec]:
+    """Expand a named experiment into its sweep specs without running it."""
+    try:
+        builder = EXPERIMENT_SPECS[name]
+    except KeyError as error:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(EXPERIMENT_SPECS)}"
+        ) from error
+    return builder(**kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# Figure runners: build the spec, execute, aggregate
 # --------------------------------------------------------------------------- #
 def run_figure3a(
     num_nodes: int = 300,
@@ -257,24 +491,16 @@ def run_figure3a(
     workers: int = 1,
     store=None,
     progress: ProgressCallback | None = None,
+    cluster: bool = False,
 ) -> ExperimentResult:
     """Figure 3(a): uniform hash power, default delays."""
-    config = default_config(
-        num_nodes=num_nodes,
-        rounds=rounds,
-        seed=seed,
-        blocks_per_round=blocks_per_round,
-        hash_power_distribution="uniform",
+    spec = figure3a_spec(
+        num_nodes, rounds, repeats, seed, blocks_per_round, protocols
     )
-    return compare_protocols(
-        config,
-        protocols,
-        repeats=repeats,
-        experiment_name="figure3a",
-        workers=workers,
-        store=store,
-        progress=progress,
+    records = _execute_spec(
+        spec, workers=workers, store=store, progress=progress, cluster=cluster
     )
+    return records_to_result(records, name=spec.name)
 
 
 def run_figure3b(
@@ -287,29 +513,18 @@ def run_figure3b(
     workers: int = 1,
     store=None,
     progress: ProgressCallback | None = None,
+    cluster: bool = False,
 ) -> ExperimentResult:
     """Figure 3(b): hash power drawn from an exponential distribution."""
-    config = default_config(
-        num_nodes=num_nodes,
-        rounds=rounds,
-        seed=seed,
-        blocks_per_round=blocks_per_round,
-        hash_power_distribution="exponential",
+    spec = figure3b_spec(
+        num_nodes, rounds, repeats, seed, blocks_per_round, protocols
     )
-    return compare_protocols(
-        config,
-        protocols,
-        repeats=repeats,
-        experiment_name="figure3b",
-        workers=workers,
-        store=store,
-        progress=progress,
+    records = _execute_spec(
+        spec, workers=workers, store=store, progress=progress, cluster=cluster
     )
+    return records_to_result(records, name=spec.name)
 
 
-# --------------------------------------------------------------------------- #
-# Figure 4(a): processing-delay sweep
-# --------------------------------------------------------------------------- #
 def run_figure4a(
     num_nodes: int = 300,
     rounds: int = 25,
@@ -321,34 +536,26 @@ def run_figure4a(
     workers: int = 1,
     store=None,
     progress: ProgressCallback | None = None,
+    cluster: bool = False,
 ) -> ProcessingDelaySweepResult:
     """Figure 4(a): sweep the block validation delay from 0.1x to 10x."""
+    specs = figure4a_specs(
+        num_nodes, rounds, repeats, seed, blocks_per_round, scales, protocols
+    )
     results: dict[float, ExperimentResult] = {}
     resolved_store = _resolve_store(store)
-    for scale in scales:
-        config = default_config(
-            num_nodes=num_nodes,
-            rounds=rounds,
-            seed=seed,
-            blocks_per_round=blocks_per_round,
-            validation_delay_ms=50.0 * scale,
-            hash_power_distribution="uniform",
-        )
-        results[scale] = compare_protocols(
-            config,
-            protocols,
-            repeats=repeats,
-            experiment_name=f"figure4a-scale-{scale:g}x",
+    for scale, spec in zip(scales, specs):
+        records = _execute_spec(
+            spec,
             workers=workers,
             store=resolved_store,
             progress=progress,
+            cluster=cluster,
         )
+        results[scale] = records_to_result(records, name=spec.name)
     return ProcessingDelaySweepResult(scales=tuple(scales), results=results)
 
 
-# --------------------------------------------------------------------------- #
-# Figure 4(b): concentrated mining pools with fast interconnects
-# --------------------------------------------------------------------------- #
 def run_figure4b(
     num_nodes: int = 300,
     rounds: int = 25,
@@ -356,40 +563,22 @@ def run_figure4b(
     seed: int = 0,
     blocks_per_round: int = 60,
     miner_speedup: float = 0.1,
-    protocols: tuple[str, ...] = (
-        "random",
-        "geographic",
-        "perigee-subset",
-        "ideal",
-    ),
+    protocols: tuple[str, ...] = ("random", "geographic", "perigee-subset", "ideal"),
     workers: int = 1,
     store=None,
     progress: ProgressCallback | None = None,
+    cluster: bool = False,
 ) -> ExperimentResult:
     """Figure 4(b): 10% of nodes hold 90% of hash power, with fast links among them."""
-    config = default_config(
-        num_nodes=num_nodes,
-        rounds=rounds,
-        seed=seed,
-        blocks_per_round=blocks_per_round,
-        hash_power_distribution="concentrated",
+    spec = figure4b_spec(
+        num_nodes, rounds, repeats, seed, blocks_per_round, miner_speedup, protocols
     )
-    return compare_protocols(
-        config,
-        protocols,
-        repeats=repeats,
-        experiment_name="figure4b",
-        scenario="miner-speedup",
-        scenario_params={"speedup": miner_speedup},
-        workers=workers,
-        store=store,
-        progress=progress,
+    records = _execute_spec(
+        spec, workers=workers, store=store, progress=progress, cluster=cluster
     )
+    return records_to_result(records, name=spec.name)
 
 
-# --------------------------------------------------------------------------- #
-# Figure 4(c): fast block-distribution (relay) network
-# --------------------------------------------------------------------------- #
 def run_figure4c(
     num_nodes: int = 300,
     rounds: int = 25,
@@ -399,44 +588,30 @@ def run_figure4c(
     relay_size: int = 100,
     relay_link_ms: float = 5.0,
     relay_validation_scale: float = 0.1,
-    protocols: tuple[str, ...] = (
-        "random",
-        "geographic",
-        "perigee-subset",
-        "ideal",
-    ),
+    protocols: tuple[str, ...] = ("random", "geographic", "perigee-subset", "ideal"),
     workers: int = 1,
     store=None,
     progress: ProgressCallback | None = None,
+    cluster: bool = False,
 ) -> ExperimentResult:
     """Figure 4(c): a bloXroute-like low-latency relay tree of 100 nodes."""
-    config = default_config(
-        num_nodes=num_nodes,
-        rounds=rounds,
-        seed=seed,
-        blocks_per_round=blocks_per_round,
-        hash_power_distribution="uniform",
-    )
-    return compare_protocols(
-        config,
+    spec = figure4c_spec(
+        num_nodes,
+        rounds,
+        repeats,
+        seed,
+        blocks_per_round,
+        relay_size,
+        relay_link_ms,
+        relay_validation_scale,
         protocols,
-        repeats=repeats,
-        experiment_name="figure4c",
-        scenario="relay",
-        scenario_params={
-            "relay_size": relay_size,
-            "relay_link_ms": relay_link_ms,
-            "relay_validation_scale": relay_validation_scale,
-        },
-        workers=workers,
-        store=store,
-        progress=progress,
     )
+    records = _execute_spec(
+        spec, workers=workers, store=store, progress=progress, cluster=cluster
+    )
+    return records_to_result(records, name=spec.name)
 
 
-# --------------------------------------------------------------------------- #
-# Figure 5: edge-latency histograms of the learned topologies
-# --------------------------------------------------------------------------- #
 def run_figure5(
     num_nodes: int = 300,
     rounds: int = 25,
@@ -446,25 +621,14 @@ def run_figure5(
     workers: int = 1,
     store=None,
     progress: ProgressCallback | None = None,
+    cluster: bool = False,
 ) -> ExperimentResult:
     """Figure 5: histograms of overlay edge latencies under uniform hash power."""
-    config = default_config(
-        num_nodes=num_nodes,
-        rounds=rounds,
-        seed=seed,
-        blocks_per_round=blocks_per_round,
-        hash_power_distribution="uniform",
+    spec = figure5_spec(num_nodes, rounds, seed, blocks_per_round, protocols)
+    records = _execute_spec(
+        spec, workers=workers, store=store, progress=progress, cluster=cluster
     )
-    return compare_protocols(
-        config,
-        protocols,
-        repeats=1,
-        collect_histograms=True,
-        experiment_name="figure5",
-        workers=workers,
-        store=store,
-        progress=progress,
-    )
+    return records_to_result(records, name=spec.name)
 
 
 # --------------------------------------------------------------------------- #

@@ -17,6 +17,20 @@ interrupted sweep can then be completed with the ``resume`` subcommand,
 which re-expands the sweeps recorded in the store and executes only the
 tasks that are still missing.
 
+Distributed execution scales the same grid past one machine.  Any number of
+worker processes sharing a store directory cooperatively drain its on-disk
+work queue (lease files with heartbeats; a crashed worker's tasks are
+re-leased automatically)::
+
+    perigee-sim submit figure3a --store runs/ --repeats 3   # enqueue only
+    perigee-sim worker --store runs/ --drain                # xN, any machine
+    perigee-sim status --store runs/                        # fleet liveness
+    perigee-sim resume --store runs/                        # aggregate/report
+
+or in one step: ``perigee-sim figure3a --store runs/ --cluster`` publishes
+the grid and participates in draining it, so extra ``worker`` processes
+speed it up but none are required.
+
 The CLI intentionally exposes only the experiment-level knobs (size, rounds,
 repeats, seed, workers, store); anything finer grained is available through
 the Python API.
@@ -31,6 +45,7 @@ from typing import Sequence
 from repro.analysis.experiments import (
     EXPERIMENTS,
     ProcessingDelaySweepResult,
+    build_experiment_specs,
     run_experiment,
 )
 from repro.analysis.reporting import (
@@ -72,6 +87,82 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="worker processes"
     )
 
+    submit_parser = subparsers.add_parser(
+        "submit",
+        help="enqueue an experiment's task grid for distributed workers",
+    )
+    submit_parser.add_argument(
+        "experiment", choices=list(EXPERIMENTS), help="experiment to enqueue"
+    )
+    submit_parser.add_argument(
+        "--store", required=True, help="store directory shared with the workers"
+    )
+    submit_parser.add_argument(
+        "--num-nodes", type=int, default=300, help="number of nodes"
+    )
+    submit_parser.add_argument(
+        "--rounds", type=int, default=12, help="protocol rounds"
+    )
+    submit_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    submit_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="independent latency draws (ignored by figure5)",
+    )
+
+    worker_parser = subparsers.add_parser(
+        "worker", help="drain queued tasks from a shared store directory"
+    )
+    worker_parser.add_argument(
+        "--store", required=True, help="store directory shared with the fleet"
+    )
+    worker_parser.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit once the queue is empty instead of polling for new work",
+    )
+    worker_parser.add_argument(
+        "--worker-id", default=None, help="stable worker identity (default: auto)"
+    )
+    worker_parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=60.0,
+        help="seconds of heartbeat silence before a lease is reclaimed",
+    )
+    worker_parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="lease reclamations before a task is recorded as failed",
+    )
+    worker_parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=1.0,
+        help="seconds between queue polls when nothing is claimable",
+    )
+    worker_parser.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        help="exit after completing this many tasks",
+    )
+
+    status_parser = subparsers.add_parser(
+        "status", help="show queue depth and worker liveness for a store"
+    )
+    status_parser.add_argument(
+        "--store", required=True, help="store directory to inspect"
+    )
+    status_parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=60.0,
+        help="liveness horizon: workers silent longer than this are shown dead",
+    )
+
     for name in EXPERIMENTS:
         experiment_parser = subparsers.add_parser(
             name, help=f"run the {name} experiment"
@@ -95,6 +186,15 @@ def build_parser() -> argparse.ArgumentParser:
             "--store",
             default=None,
             help="directory persisting raw task results (enables resume)",
+        )
+        experiment_parser.add_argument(
+            "--cluster",
+            action="store_true",
+            help=(
+                "drain the grid through the store's distributed work queue "
+                "(requires --store); external 'perigee-sim worker' processes "
+                "sharing the store cooperate on the tasks"
+            ),
         )
         if name != "figure5":
             experiment_parser.add_argument(
@@ -136,6 +236,95 @@ def _run_resume(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _spec_kwargs(args: argparse.Namespace) -> dict:
+    kwargs = {
+        "num_nodes": args.num_nodes,
+        "rounds": args.rounds,
+        "seed": args.seed,
+    }
+    if args.experiment != "figure5":  # figure5 is a single-repeat experiment
+        kwargs["repeats"] = args.repeats
+    return kwargs
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    from repro.runtime.cluster import WorkQueue
+
+    specs = build_experiment_specs(args.experiment, **_spec_kwargs(args))
+    queue = WorkQueue(ResultStore(args.store))
+    total_new = 0
+    total_tasks = 0
+    for spec in specs:
+        enqueued = queue.submit(spec)
+        total_new += enqueued
+        total_tasks += spec.num_tasks
+        print(f"sweep {spec.name}: enqueued {enqueued}/{spec.num_tasks} task(s)")
+    skipped = total_tasks - total_new
+    print(
+        f"{total_new} task(s) queued in {queue.store.directory} "
+        f"({skipped} already completed or queued); start workers with: "
+        f"perigee-sim worker --store {args.store}"
+    )
+    return 0
+
+
+def _run_worker(args: argparse.Namespace) -> int:
+    from repro.runtime.cluster import Worker
+
+    worker = Worker(
+        ResultStore(args.store),
+        worker_id=args.worker_id,
+        lease_ttl=args.lease_ttl,
+        max_attempts=args.max_attempts,
+        poll_interval=args.poll_interval,
+    )
+    print(f"worker {worker.worker_id} draining {args.store}", file=sys.stderr)
+
+    def on_record(record) -> None:
+        status = "ok" if record.ok else "FAILED"
+        print(
+            f"[{worker.worker_id}] {record.task.protocol} "
+            f"repeat={record.task.repeat} {status} ({record.duration_s:.1f}s)",
+            file=sys.stderr,
+        )
+
+    try:
+        completed = worker.run(
+            drain=args.drain, max_tasks=args.max_tasks, on_record=on_record
+        )
+    except KeyboardInterrupt:
+        print(f"worker {worker.worker_id} interrupted", file=sys.stderr)
+        return 130
+    except RuntimeError as error:  # e.g. duplicate live --worker-id
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"worker {worker.worker_id} completed {completed} task(s)")
+    return 0
+
+
+def _run_status(args: argparse.Namespace) -> int:
+    from repro.runtime.cluster import WorkQueue
+
+    queue = WorkQueue(ResultStore(args.store), lease_ttl=args.lease_ttl)
+    status = queue.status()
+    print(
+        f"queue: {status.pending} pending, {status.leased} leased; "
+        f"store: {status.records_ok} ok, {status.records_failed} failed"
+    )
+    if not status.workers:
+        print("workers: none registered")
+        return 0
+    print("workers:")
+    for worker in status.workers:
+        liveness = "alive" if worker.alive else "dead "
+        print(
+            f"  {worker.worker_id:<32} {liveness} "
+            f"last seen {worker.age_seconds:6.1f}s ago  "
+            f"completed {worker.completed}"
+        )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -151,12 +340,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "resume":
         return _run_resume(args)
+    if args.command == "submit":
+        return _run_submit(args)
+    if args.command == "worker":
+        return _run_worker(args)
+    if args.command == "status":
+        return _run_status(args)
+    if args.cluster and args.store is None:
+        parser.error("--cluster requires --store (the queue lives inside it)")
+    if args.cluster and args.workers > 1:
+        parser.error(
+            "--cluster and --workers are mutually exclusive; scale a cluster "
+            "run by starting extra 'perigee-sim worker' processes"
+        )
     kwargs = {
         "num_nodes": args.num_nodes,
         "rounds": args.rounds,
         "seed": args.seed,
         "workers": args.workers,
         "store": args.store,
+        "cluster": args.cluster,
     }
     if getattr(args, "repeats", None) is not None:
         kwargs["repeats"] = args.repeats

@@ -17,7 +17,12 @@ self-contained units of work:
 * :mod:`repro.runtime.store` — append-only JSONL result store keyed by task
   content hash, giving free caching and resume of interrupted sweeps;
 * :mod:`repro.runtime.aggregate` — reduction from stored task records back
-  to the analysis-layer ``ExperimentResult``/``DelayCurve`` objects.
+  to the analysis-layer ``ExperimentResult``/``DelayCurve`` objects;
+* :mod:`repro.runtime.cluster` — coordinator-free distributed execution:
+  a durable work queue inside the store directory with lease/heartbeat
+  semantics, ``perigee-sim worker`` daemons draining it from any number of
+  processes or machines, and a :class:`ClusterExecutor` that plugs into
+  :func:`execute_sweep` unchanged.
 
 Typical use, mirroring ``perigee-sim figure3a --workers 4 --store runs/``::
 
@@ -40,6 +45,7 @@ or, one level down::
 """
 
 from repro.runtime.aggregate import failed_records, mean_curve, records_to_result
+from repro.runtime.cluster import ClusterExecutor, Worker, WorkQueue
 from repro.runtime.executor import (
     ParallelExecutor,
     SerialExecutor,
@@ -57,8 +63,11 @@ from repro.runtime.store import ResultStore
 from repro.runtime.tasks import SweepSpec, Task, TaskRecord
 
 __all__ = [
+    "ClusterExecutor",
     "ParallelExecutor",
     "ResultStore",
+    "WorkQueue",
+    "Worker",
     "Scenario",
     "SerialExecutor",
     "SweepSpec",

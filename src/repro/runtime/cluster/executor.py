@@ -1,0 +1,121 @@
+"""ClusterExecutor: drain a sweep through the store-backed work queue.
+
+This is the piece that makes distributed execution a drop-in replacement
+for the process-pool path: ``execute_sweep(spec, executor=ClusterExecutor(
+store), store=store)`` behaves exactly like the serial/parallel executors —
+same caching, same record order, byte-identical aggregates — except that the
+tasks are published to the on-disk queue where any number of external
+``perigee-sim worker`` processes can help drain them.  The executor itself
+participates as one inline worker, so a cluster run with zero external
+workers degrades gracefully to serial execution.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro.runtime.cluster.queue import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_MAX_ATTEMPTS,
+)
+from repro.runtime.cluster.worker import Worker
+from repro.runtime.executor import ProgressCallback, RunFunction, run_task
+from repro.runtime.store import ResultStore
+from repro.runtime.tasks import Task, TaskRecord
+
+
+class ClusterExecutor:
+    """Executor draining tasks cooperatively with external workers.
+
+    Parameters
+    ----------
+    store:
+        Result store (or directory) shared with the worker fleet.  Note the
+        queue lives *inside* this directory, so the ``store=`` argument of
+        :func:`~repro.runtime.executor.execute_sweep` should point at the
+        same place (the CLI wires this automatically).
+    worker_id:
+        Identity of the inline worker; defaults to ``<host>-<pid>-<random>``.
+    lease_ttl / max_attempts:
+        Queue lease parameters (must match the external workers').
+    poll_interval:
+        Inline worker's sleep while waiting on tasks leased elsewhere.
+    """
+
+    #: Attribute parity with Serial/ParallelExecutor ("local" worker count).
+    workers = 1
+
+    #: Signals :func:`execute_sweep` that completions reach the store via
+    #: the queue's shard appends, so its own on-complete append would only
+    #: duplicate every record in ``results.jsonl``.
+    persists_records = True
+
+    def __init__(
+        self,
+        store: ResultStore | str | os.PathLike,
+        worker_id: str | None = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        poll_interval: float = 0.2,
+    ) -> None:
+        self.store = store if isinstance(store, ResultStore) else ResultStore(store)
+        self._worker_id = worker_id
+        self.lease_ttl = float(lease_ttl)
+        self.max_attempts = int(max_attempts)
+        self.poll_interval = float(poll_interval)
+
+    def map(
+        self,
+        tasks: Sequence[Task],
+        run: RunFunction = run_task,
+        progress: ProgressCallback | None = None,
+    ) -> list[TaskRecord]:
+        if not tasks:
+            return []
+        worker = Worker(
+            self.store,
+            worker_id=self._worker_id,
+            lease_ttl=self.lease_ttl,
+            max_attempts=self.max_attempts,
+            poll_interval=self.poll_interval,
+            run=run,
+        )
+        keys = {task.content_hash() for task in tasks}
+        for task in tasks:
+            worker.queue.enqueue(task)
+
+        delivered: set[str] = set()
+
+        def on_record(record: TaskRecord) -> None:
+            delivered.add(record.key)
+            if progress is not None:
+                progress(len(delivered), len(tasks), record)
+
+        # Work this sweep's share of the queue inline until it is fully
+        # drained.  The key scope keeps the inline worker off tasks other
+        # sweeps queued in the same store; tasks leased by external workers
+        # are waited out (or reclaimed if their worker dies), so on return
+        # every task has a record in the store.
+        worker.run(drain=True, on_record=on_record, keys=keys)
+
+        merged = self.store.load()
+        records: list[TaskRecord] = []
+        for task in tasks:
+            key = task.content_hash()
+            record = merged.get(key)
+            if record is None:  # pragma: no cover - store wiped mid-run
+                record = TaskRecord(
+                    key=key,
+                    task=task,
+                    status="failed",
+                    error="cluster: queue drained but no record found in store",
+                )
+            records.append(record)
+            if key not in delivered:
+                # Completed by an external worker: surface it through the
+                # progress callback too, so coordinators persist/report it.
+                delivered.add(key)
+                if progress is not None:
+                    progress(len(delivered), len(tasks), record)
+        return records

@@ -1,0 +1,149 @@
+"""Worker daemon: claims, heartbeats, executes, and completes queued tasks.
+
+A :class:`Worker` is what ``perigee-sim worker --store DIR`` runs.  Any
+number of workers can point at the same store directory; each appends its
+finished records to a private shard (``results-<worker>.jsonl``), so no two
+processes ever write the same file.
+
+The heartbeat runs on a daemon thread while a task executes, refreshing the
+lease mtime every quarter of the lease TTL — simulation cells routinely run
+longer than the TTL, and the heartbeat is what distinguishes a slow worker
+from a dead one.  If the worker is interrupted mid-task (``KeyboardInterrupt``
+or any other raise out of the run function), the claim is released so the
+task becomes immediately claimable again instead of waiting out the TTL.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Callable
+
+from repro.runtime.cluster.queue import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_MAX_ATTEMPTS,
+    Claim,
+    WorkQueue,
+    default_worker_id,
+)
+from repro.runtime.executor import RunFunction, run_task
+from repro.runtime.store import ResultStore, sanitize_writer_id
+from repro.runtime.tasks import TaskRecord
+
+#: ``on_record(record)`` — called after every task this worker completes.
+RecordCallback = Callable[[TaskRecord], None]
+
+#: Smallest heartbeat interval; avoids a busy-loop under tiny test TTLs.
+_MIN_HEARTBEAT_INTERVAL = 0.05
+
+
+class Worker:
+    """Cooperative queue drainer bound to one store directory.
+
+    Parameters
+    ----------
+    store:
+        Result store or directory path shared by the fleet.
+    worker_id:
+        Stable identity; defaults to ``<host>-<pid>-<random>``.  Also names
+        this worker's result shard.
+    lease_ttl / max_attempts:
+        Queue lease parameters — every worker sharing a store should use
+        the same values (see :class:`~repro.runtime.cluster.queue.WorkQueue`).
+    poll_interval:
+        Seconds to sleep when nothing is claimable.
+    run:
+        Per-task work function (the standard
+        :func:`~repro.runtime.executor.run_task` by default).
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | str | os.PathLike,
+        worker_id: str | None = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        poll_interval: float = 1.0,
+        run: RunFunction = run_task,
+    ) -> None:
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        resolved = store if isinstance(store, ResultStore) else ResultStore(store)
+        self.worker_id = (
+            sanitize_writer_id(worker_id)
+            if worker_id is not None
+            else default_worker_id()
+        )
+        self.store = resolved.for_writer(self.worker_id)
+        self.queue = WorkQueue(
+            self.store, lease_ttl=lease_ttl, max_attempts=max_attempts
+        )
+        self.poll_interval = float(poll_interval)
+        self.run_function = run
+
+    def run(
+        self,
+        drain: bool = True,
+        max_tasks: int | None = None,
+        on_record: RecordCallback | None = None,
+        keys: set[str] | None = None,
+    ) -> int:
+        """Main loop; returns the number of tasks this worker completed.
+
+        With ``drain=True`` the loop exits once the queue is empty — which
+        means waiting out tasks leased by *other* workers, since a crashed
+        peer's leases expire and land back here.  With ``drain=False`` the
+        worker keeps polling for new submissions until interrupted (the
+        long-running fleet mode).  ``keys`` scopes both claiming and the
+        drained check to one sweep's content hashes (see
+        :meth:`~repro.runtime.cluster.queue.WorkQueue.claim`).
+        """
+        self.queue.register_worker(self.worker_id)
+        completed = 0
+        try:
+            while max_tasks is None or completed < max_tasks:
+                claim = self.queue.claim(self.worker_id, keys=keys)
+                if claim is None:
+                    self.queue.beat_worker(self.worker_id)
+                    if drain and self.queue.drained(keys=keys):
+                        break
+                    time.sleep(self.poll_interval)
+                    continue
+                record = self._execute(claim)
+                completed += 1
+                # Beat the registry here too: a worker chewing through
+                # sub-heartbeat-interval tasks would otherwise look dead to
+                # `perigee-sim status` while actively draining.
+                self.queue.beat_worker(self.worker_id)
+                if on_record is not None:
+                    on_record(record)
+        finally:
+            self.queue.beat_worker(self.worker_id)
+        return completed
+
+    def _execute(self, claim: Claim) -> TaskRecord:
+        stop = threading.Event()
+        beater = threading.Thread(
+            target=self._heartbeat_loop, args=(claim, stop), daemon=True
+        )
+        beater.start()
+        try:
+            try:
+                record = self.run_function(claim.task)
+            finally:
+                stop.set()
+                beater.join()
+        except BaseException:
+            # Interrupted mid-task: hand the work back immediately rather
+            # than letting the lease age out.
+            self.queue.release(claim)
+            raise
+        self.queue.complete(claim, record)
+        return record
+
+    def _heartbeat_loop(self, claim: Claim, stop: threading.Event) -> None:
+        interval = max(self.queue.lease_ttl / 4.0, _MIN_HEARTBEAT_INTERVAL)
+        while not stop.wait(interval):
+            self.queue.heartbeat(claim)
+            self.queue.beat_worker(self.worker_id)

@@ -189,27 +189,64 @@ class ParallelExecutor:
         if not tasks:
             return []
         records: list[TaskRecord | None] = [None] * len(tasks)
-        with ProcessPoolExecutor(
+        done_count = 0
+        future_index: dict = {}
+        outstanding: set = set()
+
+        def harvest(future) -> TaskRecord:
+            index = future_index[future]
+            try:
+                record = future.result()
+            except BaseException as error:  # noqa: BLE001 - pool crashes; also
+                # KeyboardInterrupt raised inside a child (group-wide SIGINT)
+                # surfaces through the future and must not abort the salvage
+                # loop below — it becomes a failed record, retried on resume.
+                record = _failure_record(tasks[index], error)
+            records[index] = record
+            return record
+
+        pool = ProcessPoolExecutor(
             max_workers=min(self.workers, len(tasks)),
             mp_context=self._mp_context,
-        ) as pool:
+        )
+        try:
             future_index = {
                 pool.submit(run, task): index for index, task in enumerate(tasks)
             }
-            done_count = 0
-            pending = set(future_index)
-            while pending:
-                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            outstanding = set(future_index)
+            while outstanding:
+                finished, _ = wait(outstanding, return_when=FIRST_COMPLETED)
                 for future in finished:
-                    index = future_index[future]
-                    try:
-                        record = future.result()
-                    except Exception as error:  # noqa: BLE001 - pool crashes
-                        record = _failure_record(tasks[index], error)
-                    records[index] = record
+                    # Remove before invoking the callback: if the callback
+                    # raises, the record was already delivered once (and
+                    # persisted, when a store is attached) so the interrupt
+                    # path below must not deliver it again.
+                    outstanding.discard(future)
+                    record = harvest(future)
                     done_count += 1
                     if progress is not None:
                         progress(done_count, len(tasks), record)
+            pool.shutdown()
+        except BaseException:
+            # Interrupted (typically KeyboardInterrupt in ``wait``): salvage
+            # every future that already finished so its record still reaches
+            # the progress callback — and therefore the result store — then
+            # cancel everything that never started and re-raise without
+            # waiting for in-flight tasks.  An interrupted sweep with a
+            # store is resumable with no finished work lost.
+            for future in outstanding:
+                if future.done() and not future.cancelled():
+                    record = harvest(future)
+                    done_count += 1
+                    if progress is not None:
+                        try:
+                            progress(done_count, len(tasks), record)
+                        except BaseException:  # noqa: BLE001 - already unwinding
+                            pass
+                else:
+                    future.cancel()
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
         return [record for record in records if record is not None]
 
 
@@ -247,9 +284,14 @@ def execute_sweep(
         for done, record in enumerate(cached.values(), start=1):
             progress(done, len(tasks), record)
 
+    # Executors that persist completions themselves (the cluster path
+    # appends every record to a worker shard) opt out of the coordinator
+    # append, which would otherwise duplicate each record in results.jsonl.
+    self_persisting = getattr(executor, "persists_records", False)
+
     def on_complete(done: int, total: int, record: TaskRecord) -> None:
         # Persist immediately so a killed sweep keeps every finished task.
-        if store is not None:
+        if store is not None and not self_persisting:
             store.append(record)
         if progress is not None:
             progress(done + len(cached), len(tasks), record)

@@ -3,19 +3,30 @@
 Layout of a store directory::
 
     <store>/
-        results.jsonl   # one TaskRecord JSON object per line, append-only
-        sweeps.json     # SweepSpec serialisations keyed by sweep name
+        results.jsonl           # single-writer records, append-only
+        results-<writer>.jsonl  # per-writer shard files (cluster workers)
+        sweeps/<name>.json      # one SweepSpec per file (atomic writes)
+        sweeps.json             # legacy spec index (read-only compatibility)
 
 Design notes
 ------------
 * **Append-only JSONL** makes interrupted writes cheap to tolerate: a
   truncated trailing line (e.g. the process was killed mid-write) is
   skipped on load, and everything before it remains valid.
+* **Per-writer shards** make the store safe for many concurrent writers:
+  a store bound to a writer id (:meth:`ResultStore.for_writer`) appends to
+  its own ``results-<writer>.jsonl``, so two workers never interleave
+  partial lines in one file.  Reads always merge ``results.jsonl`` plus
+  every shard, keeping the original single-file format readable.
 * **Content-hash keys** give free caching: re-running any sweep against the
   same store skips every task whose full description (config, protocol,
-  repeat, rounds, scenario, parameters) is unchanged; the last record per
-  key wins, so failed tasks are retried and their failure records are
-  superseded.
+  repeat, rounds, scenario, parameters) is unchanged.  Merging prefers
+  ``ok`` records over failed ones (so a retried task's success supersedes
+  its earlier failure no matter which shard holds which), and otherwise the
+  last record per key wins.  Duplicate completions of the same task —
+  possible when a cluster lease is reclaimed from a worker that was slow
+  rather than dead — are harmless because task execution is deterministic:
+  every record for a key carries identical results.
 * **Exact floats**: ``json`` serialises floats via ``repr``, the shortest
   round-trip representation, so delay values survive a store round-trip
   bit-for-bit and resumed sweeps aggregate to byte-identical curves.
@@ -25,6 +36,8 @@ from __future__ import annotations
 
 import json
 import os
+import re
+import secrets
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
@@ -35,6 +48,38 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 RESULTS_FILENAME = "results.jsonl"
 SWEEPS_FILENAME = "sweeps.json"
+SPECS_DIRNAME = "sweeps"
+
+#: Characters allowed in a writer id (it becomes part of a filename).
+_WRITER_SAFE = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+def sanitize_writer_id(writer: str) -> str:
+    """Make a writer id filesystem-safe (used in shard filenames)."""
+    cleaned = _WRITER_SAFE.sub("-", writer).strip("-.")
+    if not cleaned:
+        raise ValueError(f"writer id {writer!r} has no filesystem-safe characters")
+    return cleaned
+
+
+def iter_jsonl_payloads(path: Path) -> Iterator[dict]:
+    """Yield the parseable JSON objects of one JSONL file.
+
+    The single source of truth for append-only-file tolerance: blank lines
+    are skipped and so is a truncated trailing line (a write interrupted by
+    a crash), everything before it remaining valid.
+    """
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(payload, dict):
+                yield payload
 
 
 class ResultStore:
@@ -42,22 +87,60 @@ class ResultStore:
 
     The directory is created lazily on first write, so read-only operations
     (e.g. a ``resume`` lookup against a mistyped path) leave no trace.
+
+    Parameters
+    ----------
+    directory:
+        The store directory.
+    writer:
+        Optional writer id.  When set, :meth:`append` targets the private
+        shard ``results-<writer>.jsonl`` instead of the shared
+        ``results.jsonl``, which makes concurrent appends from many
+        processes (or machines sharing the directory) safe.  Reads are
+        unaffected: every store view merges all shards.
     """
 
-    def __init__(self, directory: str | os.PathLike) -> None:
+    def __init__(self, directory: str | os.PathLike, writer: str | None = None) -> None:
         self._directory = Path(directory)
+        self._writer = None if writer is None else sanitize_writer_id(writer)
+
+    def for_writer(self, writer: str) -> "ResultStore":
+        """A view of the same directory whose appends go to a private shard."""
+        return ResultStore(self._directory, writer=writer)
 
     @property
     def directory(self) -> Path:
         return self._directory
 
     @property
+    def writer(self) -> str | None:
+        return self._writer
+
+    @property
     def results_path(self) -> Path:
+        """The file :meth:`append` writes to (shard when writer-bound)."""
+        if self._writer is not None:
+            return self._directory / f"results-{self._writer}.jsonl"
         return self._directory / RESULTS_FILENAME
 
     @property
     def sweeps_path(self) -> Path:
+        """Legacy single-file spec index (still read, no longer written)."""
         return self._directory / SWEEPS_FILENAME
+
+    @property
+    def specs_dir(self) -> Path:
+        """Directory of per-sweep spec files (one atomic write per sweep)."""
+        return self._directory / SPECS_DIRNAME
+
+    def shard_paths(self) -> list[Path]:
+        """Every results file readers merge: shared file first, then shards."""
+        paths = []
+        shared = self._directory / RESULTS_FILENAME
+        if shared.exists():
+            paths.append(shared)
+        paths.extend(sorted(self._directory.glob("results-*.jsonl")))
+        return paths
 
     # ------------------------------------------------------------------ #
     # Task records
@@ -72,58 +155,80 @@ class ResultStore:
             os.fsync(handle.fileno())
 
     def iter_records(self) -> Iterator[TaskRecord]:
-        """Yield all parseable records in append order."""
-        if not self.results_path.exists():
-            return
-        with self.results_path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    payload = json.loads(line)
-                except json.JSONDecodeError:
-                    # Truncated trailing line from an interrupted write.
-                    continue
+        """Yield all parseable records, shared file first, then shards."""
+        for path in self.shard_paths():
+            for payload in iter_jsonl_payloads(path):
                 yield TaskRecord.from_dict(payload)
 
     def load(self) -> dict[str, TaskRecord]:
-        """All records keyed by content hash; the last write per key wins."""
+        """All records keyed by content hash, merged across shards.
+
+        An ``ok`` record is never displaced by a failed one for the same
+        key (shard merge order must not resurrect failures); among records
+        of equal success the last one read wins.
+        """
         records: dict[str, TaskRecord] = {}
         for record in self.iter_records():
+            current = records.get(record.key)
+            if current is not None and current.ok and not record.ok:
+                continue
             records[record.key] = record
         return records
 
     def __contains__(self, key: str) -> bool:
-        """Membership test; re-reads the file — use :meth:`load` for bulk checks."""
+        """Membership test; re-reads the files — use :meth:`load` for bulk checks."""
         return key in self.load()
 
     def __len__(self) -> int:
-        """Number of distinct task keys; re-reads the file on every call."""
+        """Number of distinct task keys; re-reads the files on every call."""
         return len(self.load())
 
     # ------------------------------------------------------------------ #
     # Sweep specs (what `perigee-sim resume` rebuilds tasks from)
     # ------------------------------------------------------------------ #
     def save_spec(self, spec: "SweepSpec") -> None:
-        """Persist (or update) a sweep spec under its name."""
-        specs = self._load_spec_dicts()
-        specs[spec.name] = spec.to_dict()
-        self._directory.mkdir(parents=True, exist_ok=True)
-        tmp_path = self.sweeps_path.with_suffix(".json.tmp")
-        tmp_path.write_text(
-            json.dumps(specs, sort_keys=True, indent=2), encoding="utf-8"
+        """Persist (or update) a sweep spec under its name.
+
+        Each spec lives in its own file under ``sweeps/``, written via
+        temp-file + atomic rename, so any number of concurrent savers (two
+        ``submit`` processes, a ``--cluster`` coordinator racing a submit)
+        never lose each other's sweeps — there is no shared index to
+        read-modify-write.  The legacy single-file ``sweeps.json`` format
+        remains readable.
+        """
+        self.specs_dir.mkdir(parents=True, exist_ok=True)
+        path = self.specs_dir / f"{sanitize_writer_id(spec.name)}.json"
+        tmp_path = path.with_name(
+            f".{path.name}.tmp-{os.getpid()}-{secrets.token_hex(3)}"
         )
-        tmp_path.replace(self.sweeps_path)
+        tmp_path.write_text(
+            json.dumps(spec.to_dict(), sort_keys=True, indent=2),
+            encoding="utf-8",
+        )
+        tmp_path.replace(path)
 
     def _load_spec_dicts(self) -> dict[str, dict]:
-        if not self.sweeps_path.exists():
-            return {}
-        try:
-            payload = json.loads(self.sweeps_path.read_text(encoding="utf-8"))
-        except json.JSONDecodeError:
-            return {}
-        return payload if isinstance(payload, dict) else {}
+        specs: dict[str, dict] = {}
+        if self.sweeps_path.exists():  # legacy single-file index
+            try:
+                payload = json.loads(self.sweeps_path.read_text(encoding="utf-8"))
+            except json.JSONDecodeError:
+                payload = None
+            if isinstance(payload, dict):
+                specs.update(
+                    (name, data)
+                    for name, data in payload.items()
+                    if isinstance(data, dict)
+                )
+        if self.specs_dir.is_dir():
+            for path in sorted(self.specs_dir.glob("*.json")):
+                try:
+                    payload = json.loads(path.read_text(encoding="utf-8"))
+                except (OSError, json.JSONDecodeError):
+                    continue
+                if isinstance(payload, dict) and "name" in payload:
+                    specs[payload["name"]] = payload
+        return specs
 
     def load_specs(self) -> dict[str, "SweepSpec"]:
         """All persisted sweep specs keyed by name."""

@@ -44,6 +44,39 @@ class TestParser:
         assert args.store == "runs/"
         assert args.workers == 2
 
+    def test_parser_has_cluster_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["submit", "figure3b", "--store", "runs/", "--repeats", "3"]
+        )
+        assert args.command == "submit"
+        assert args.experiment == "figure3b"
+        assert args.repeats == 3
+        args = parser.parse_args(
+            ["worker", "--store", "runs/", "--drain", "--lease-ttl", "5"]
+        )
+        assert args.command == "worker"
+        assert args.drain is True
+        assert args.lease_ttl == 5.0
+        assert args.max_attempts == 3
+        args = parser.parse_args(["status", "--store", "runs/"])
+        assert args.command == "status"
+
+    def test_parser_has_cluster_flag(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure3a", "--store", "runs/", "--cluster"])
+        assert args.cluster is True
+
+    def test_cluster_flag_requires_store(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure3a", "--cluster"])
+        assert "--cluster requires --store" in capsys.readouterr().err
+
+    def test_cluster_flag_rejects_workers(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure3a", "--cluster", "--store", "runs/", "--workers", "2"])
+        assert "mutually exclusive" in capsys.readouterr().err
+
 
 class TestExecution:
     def test_run_small_figure3a(self, capsys):
@@ -87,3 +120,46 @@ class TestExecution:
         code = main(["resume", "--store", str(tmp_path / "empty")])
         assert code == 1
         assert "no stored sweeps" in capsys.readouterr().err
+
+    def test_submit_worker_status_round_trip(self, capsys, tmp_path):
+        store = str(tmp_path / "runs")
+        base = ["--num-nodes", "30", "--rounds", "2", "--seed", "3"]
+        assert main(["submit", "figure3a", "--store", store, *base]) == 0
+        assert "enqueued 7/7" in capsys.readouterr().out
+
+        assert main(["status", "--store", store]) == 0
+        assert "7 pending, 0 leased" in capsys.readouterr().out
+
+        code = main(
+            [
+                "worker", "--store", store, "--drain",
+                "--poll-interval", "0.1", "--worker-id", "test-worker",
+            ]
+        )
+        assert code == 0
+        assert "completed 7 task(s)" in capsys.readouterr().out
+
+        assert main(["status", "--store", store]) == 0
+        output = capsys.readouterr().out
+        assert "0 pending, 0 leased" in output
+        assert "7 ok, 0 failed" in output
+        assert "test-worker" in output
+
+        # resume aggregates the worker-produced shard without re-running.
+        assert main(["resume", "--store", store]) == 0
+        output = capsys.readouterr().out
+        assert "0 task(s) executed, 7 from store" in output
+        assert "experiment: figure3a" in output
+
+    def test_run_with_cluster_flag(self, capsys, tmp_path):
+        store = str(tmp_path / "runs")
+        code = main(
+            [
+                "figure3a", "--num-nodes", "30", "--rounds", "2",
+                "--seed", "3", "--store", store, "--cluster",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "experiment: figure3a" in captured.out
+        assert "[7/7]" in captured.err  # progress covers the whole grid
