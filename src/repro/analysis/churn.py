@@ -27,7 +27,10 @@ import numpy as np
 from repro.config import SimulationConfig, default_config
 from repro.core.addrman import AddressManager
 from repro.core.network import P2PNetwork
-from repro.core.observations import ObservationSet
+from repro.core.observations import (
+    ObservationMap,
+    normalized_observation_provider,
+)
 from repro.core.propagation import PropagationEngine
 from repro.datasets.bitnodes import NodePopulation, generate_population
 from repro.latency.geo import GeographicLatencyModel
@@ -158,20 +161,11 @@ class _ChurnDriver:
         weights = weights / weights.sum()
         return self.rng.choice(online_ids, size=count, p=weights)
 
-    def collect_observations(
-        self, sources: np.ndarray
-    ) -> dict[int, ObservationSet]:
+    def collect_observations(self, sources: np.ndarray) -> ObservationMap:
         result = self.engine.propagate(self.network, sources)
-        forwarding = self.engine.forwarding_time_matrix(self.network, result)
-        observations = {
-            node_id: ObservationSet(node_id=node_id)
-            for node_id in range(self.config.num_nodes)
-        }
-        for (sender, receiver), times in forwarding.items():
-            obs = observations[receiver]
-            for block_index in range(sources.size):
-                obs.record(block_index, sender, float(times[block_index]))
-        return observations
+        return ObservationMap(
+            self.engine.round_observations(self.network, result)
+        )
 
     def evaluate(self) -> float:
         """Median delay (over online sources) to reach the target among online nodes."""
@@ -207,6 +201,7 @@ def _run_arm(
         if adaptive:
             sources = driver.mine_sources(config.blocks_per_round)
             observations = driver.collect_observations(sources)
+            provider = normalized_observation_provider(observations)
             # Algorithm 1 for every online node, with exploration drawn from
             # the node's own address book (online peers only).
             for node_id in np.where(driver.online)[0]:
@@ -215,14 +210,17 @@ def _run_arm(
                 if not outgoing:
                     driver._fill_from_addrman(node_id)
                     continue
-                normalized = observations[node_id].normalized()
+                neighbors = np.fromiter(
+                    sorted(outgoing), dtype=np.int64, count=len(outgoing)
+                )
+                times = provider(node_id, neighbors)
                 retain_budget = max(
                     0, config.out_degree - config.exploration_peers
                 )
-                retained = protocol.select_retained(
+                retained = protocol.select_retained_block(
                     node_id=node_id,
-                    outgoing=set(outgoing),
-                    observations=normalized,
+                    neighbors=neighbors,
+                    times=times,
                     retain_budget=retain_budget,
                     rng=driver.rng,
                 )

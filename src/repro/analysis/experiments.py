@@ -120,6 +120,23 @@ class ProcessingDelaySweepResult:
         }
 
 
+@dataclass
+class NetworkScalingResult:
+    """``scaling`` experiment: one :class:`ExperimentResult` per network size."""
+
+    sizes: tuple[int, ...]
+    results: dict[int, ExperimentResult]
+
+    def improvements(
+        self, candidate: str = "perigee-subset", baseline: str = "random"
+    ) -> dict[int, float]:
+        """Per-size improvement of ``candidate`` over ``baseline``."""
+        return {
+            size: self.results[size].improvement(candidate, baseline)
+            for size in self.sizes
+        }
+
+
 def _resolve_executor(workers: int, executor):
     return executor if executor is not None else make_executor(workers)
 
@@ -455,6 +472,59 @@ def figure5_spec(
     )
 
 
+def _scaling_ladder(num_nodes: int) -> tuple[int, ...]:
+    """Ascending network sizes reaching ``num_nodes`` by repeated halving."""
+    ladder = [num_nodes]
+    while len(ladder) < 4 and ladder[-1] // 2 >= 300:
+        ladder.append(ladder[-1] // 2)
+    return tuple(sorted(ladder))
+
+
+def scaling_specs(
+    num_nodes: int = 2000,
+    rounds: int = 12,
+    repeats: int = 1,
+    seed: int = 0,
+    blocks_per_round: int = 50,
+    sizes: tuple[int, ...] | None = None,
+    protocols: tuple[str, ...] = ("random", "perigee-subset"),
+) -> list[SweepSpec]:
+    """Network-size scaling study over the ``large-network`` scenario.
+
+    One sweep per size, halving down from ``num_nodes`` (e.g. 2000 ->
+    [500, 1000, 2000]); every size uses the deterministic Bitnodes regional
+    mix so curves compare like with like.  The specs route through the
+    standard runtime, so ``perigee-sim scaling --store DIR --cluster`` (or a
+    ``submit`` + worker fleet) drains the whole ladder through the
+    distributed queue — this is the grid that exercises the array-native
+    observation pipeline's large-N headroom.
+    """
+    sizes = _scaling_ladder(num_nodes) if sizes is None else tuple(
+        sorted(set(int(size) for size in sizes))
+    )
+    if not sizes:
+        raise ValueError("sizes must be non-empty")
+    specs = []
+    for size in sizes:
+        config = default_config(
+            num_nodes=size,
+            rounds=rounds,
+            seed=seed,
+            blocks_per_round=blocks_per_round,
+            hash_power_distribution="uniform",
+        )
+        specs.append(
+            SweepSpec(
+                name=f"scaling-n{size}",
+                config=config,
+                protocols=tuple(protocols),
+                repeats=repeats,
+                scenario="large-network",
+            )
+        )
+    return specs
+
+
 #: name -> builder returning the experiment's sweep specs (most figures are a
 #: single sweep; figure4a is one sweep per validation-delay scale).
 EXPERIMENT_SPECS = {
@@ -464,6 +534,7 @@ EXPERIMENT_SPECS = {
     "figure4b": lambda **kw: [figure4b_spec(**kw)],
     "figure4c": lambda **kw: [figure4c_spec(**kw)],
     "figure5": lambda **kw: [figure5_spec(**kw)],
+    "scaling": lambda **kw: scaling_specs(**kw),
 }
 
 
@@ -631,6 +702,40 @@ def run_figure5(
     return records_to_result(records, name=spec.name)
 
 
+def run_scaling(
+    num_nodes: int = 2000,
+    rounds: int = 12,
+    repeats: int = 1,
+    seed: int = 0,
+    blocks_per_round: int = 50,
+    sizes: tuple[int, ...] | None = None,
+    protocols: tuple[str, ...] = ("random", "perigee-subset"),
+    workers: int = 1,
+    store=None,
+    progress: ProgressCallback | None = None,
+    cluster: bool = False,
+) -> NetworkScalingResult:
+    """Scaling study: Perigee vs random across network sizes (large-N grid)."""
+    specs = scaling_specs(
+        num_nodes, rounds, repeats, seed, blocks_per_round, sizes, protocols
+    )
+    results: dict[int, ExperimentResult] = {}
+    resolved_store = _resolve_store(store)
+    ladder = []
+    for spec in specs:
+        records = _execute_spec(
+            spec,
+            workers=workers,
+            store=resolved_store,
+            progress=progress,
+            cluster=cluster,
+        )
+        size = spec.config.num_nodes
+        ladder.append(size)
+        results[size] = records_to_result(records, name=spec.name)
+    return NetworkScalingResult(sizes=tuple(ladder), results=results)
+
+
 # --------------------------------------------------------------------------- #
 # Generic dispatcher used by the CLI
 # --------------------------------------------------------------------------- #
@@ -641,6 +746,7 @@ EXPERIMENTS = {
     "figure4b": run_figure4b,
     "figure4c": run_figure4c,
     "figure5": run_figure5,
+    "scaling": run_scaling,
 }
 
 

@@ -20,7 +20,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import SimulationConfig, default_config
-from repro.core.network import P2PNetwork
 from repro.core.observations import ObservationSet
 from repro.core.simulator import Simulator
 from repro.datasets.bitnodes import generate_population
@@ -36,7 +35,10 @@ class MixedDeploymentProtocol(PerigeeBase):
 
     Non-adopters never rewire: they behave exactly like random-topology
     Bitcoin nodes.  Adopters run the wrapped variant's scoring and retention
-    rule (Algorithm 1) every round.
+    rule (Algorithm 1) every round.  The round template itself is inherited
+    from :class:`PerigeeBase` — including its array-native observation path —
+    with :meth:`updates_node` restricting it to adopters and every policy
+    hook delegated to the wrapped variant.
 
     Parameters
     ----------
@@ -72,43 +74,31 @@ class MixedDeploymentProtocol(PerigeeBase):
     def reset(self) -> None:
         self._inner.reset()
 
-    def update(
+    def exploration_budget(self, context: ProtocolContext) -> int:
+        """The wrapped variant decides the exploration budget (UCB uses 0)."""
+        return self._inner.exploration_budget(context)
+
+    def updates_node(self, node_id: int) -> bool:
+        return node_id in self._adopters
+
+    def on_neighbors_dropped(self, node_id: int, dropped: set[int]) -> None:
+        self._inner.on_neighbors_dropped(node_id, dropped)
+
+    def select_retained_block(
         self,
-        context: ProtocolContext,
-        network: P2PNetwork,
-        observations: dict[int, ObservationSet],
+        node_id: int,
+        neighbors: np.ndarray,
+        times: np.ndarray,
+        retain_budget: int,
         rng: np.random.Generator,
-    ) -> None:
-        exploration = self._inner.exploration_budget(context)
-        order = rng.permutation(network.num_nodes)
-        for raw_id in order:
-            node_id = int(raw_id)
-            if node_id not in self._adopters:
-                continue
-            outgoing = network.outgoing_neighbors(node_id)
-            if not outgoing:
-                network.fill_random_outgoing(node_id, rng)
-                continue
-            node_observations = observations.get(
-                node_id, ObservationSet(node_id=node_id)
-            )
-            normalized = node_observations.normalized()
-            retain_budget = max(0, network.out_degree - exploration)
-            retained = self._inner.select_retained(
-                node_id=node_id,
-                outgoing=set(outgoing),
-                observations=normalized,
-                retain_budget=retain_budget,
-                rng=rng,
-            )
-            retained = {peer for peer in retained if peer in outgoing}
-            self._inner.on_neighbors_dropped(node_id, set(outgoing) - retained)
-            network.replace_outgoing(
-                node_id,
-                retained,
-                rng,
-                num_random=network.out_degree - len(retained),
-            )
+    ) -> set[int]:
+        return self._inner.select_retained_block(
+            node_id=node_id,
+            neighbors=neighbors,
+            times=times,
+            retain_budget=retain_budget,
+            rng=rng,
+        )
 
     def select_retained(
         self,

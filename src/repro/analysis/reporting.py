@@ -13,6 +13,7 @@ from typing import Sequence
 
 from repro.analysis.experiments import (
     ExperimentResult,
+    NetworkScalingResult,
     ProcessingDelaySweepResult,
 )
 from repro.analysis.figures import figure5_rows, improvement_table
@@ -136,6 +137,37 @@ def render_sweep_report(
     return format_table(
         (
             "validation delay",
+            f"{candidate} median (ms)",
+            f"{baseline} median (ms)",
+            "improvement",
+        ),
+        rows,
+    )
+
+
+def render_scaling_report(
+    scaling: NetworkScalingResult,
+    candidate: str = "perigee-subset",
+    baseline: str = "random",
+) -> str:
+    """Human-readable report of the network-size scaling study."""
+    rows = []
+    for size in scaling.sizes:
+        result = scaling.results[size]
+        candidate_median = result.curves[candidate].median_ms
+        baseline_median = result.curves[baseline].median_ms
+        improvement = result.improvement(candidate, baseline)
+        rows.append(
+            (
+                size,
+                f"{candidate_median:.1f}",
+                f"{baseline_median:.1f}",
+                f"{improvement * 100:+.1f}%",
+            )
+        )
+    return format_table(
+        (
+            "network size",
             f"{candidate} median (ms)",
             f"{baseline} median (ms)",
             "improvement",

@@ -25,11 +25,19 @@ re-leased automatically)::
     perigee-sim submit figure3a --store runs/ --repeats 3   # enqueue only
     perigee-sim worker --store runs/ --drain                # xN, any machine
     perigee-sim status --store runs/                        # fleet liveness
-    perigee-sim resume --store runs/                        # aggregate/report
+    perigee-sim resume --store runs/ [--cluster]            # aggregate/report
+    perigee-sim compact --store runs/                       # merge shards
 
 or in one step: ``perigee-sim figure3a --store runs/ --cluster`` publishes
 the grid and participates in draining it, so extra ``worker`` processes
-speed it up but none are required.
+speed it up but none are required.  ``resume --cluster`` routes the missing
+tasks of an interrupted sweep back through the queue; ``compact`` folds the
+per-worker result shards into ``results.jsonl`` once a sweep has drained.
+
+The ``scaling`` experiment (``perigee-sim scaling --num-nodes 2000``) runs
+Perigee-Subset vs random over a ladder of network sizes under the
+``large-network`` scenario — the large-N grid the array-native observation
+pipeline was built for.
 
 The CLI intentionally exposes only the experiment-level knobs (size, rounds,
 repeats, seed, workers, store); anything finer grained is available through
@@ -44,6 +52,7 @@ from typing import Sequence
 
 from repro.analysis.experiments import (
     EXPERIMENTS,
+    NetworkScalingResult,
     ProcessingDelaySweepResult,
     build_experiment_specs,
     run_experiment,
@@ -51,6 +60,7 @@ from repro.analysis.experiments import (
 from repro.analysis.reporting import (
     render_experiment_report,
     render_failure_report,
+    render_scaling_report,
     render_sweep_report,
     render_task_progress,
 )
@@ -85,6 +95,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resume_parser.add_argument(
         "--workers", type=int, default=1, help="worker processes"
+    )
+    resume_parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help=(
+            "route the remaining tasks through the store's distributed work "
+            "queue instead of running them inline; external 'perigee-sim "
+            "worker' processes sharing the store cooperate on them"
+        ),
+    )
+
+    compact_parser = subparsers.add_parser(
+        "compact",
+        help=(
+            "merge per-worker results-<id>.jsonl shards into results.jsonl "
+            "(run after a cluster sweep has drained, not while workers are "
+            "still appending)"
+        ),
+    )
+    compact_parser.add_argument(
+        "--store", required=True, help="store directory to compact"
     )
 
     submit_parser = subparsers.add_parser(
@@ -216,7 +247,12 @@ def _run_resume(args: argparse.Namespace) -> int:
     if not specs:
         print(f"no stored sweeps found in {store.directory}", file=sys.stderr)
         return 1
-    executor = make_executor(args.workers)
+    if getattr(args, "cluster", False):
+        from repro.runtime.cluster import ClusterExecutor
+
+        executor = ClusterExecutor(store)
+    else:
+        executor = make_executor(args.workers)
     exit_code = 0
     for name, spec in specs.items():
         records = execute_sweep(
@@ -302,6 +338,17 @@ def _run_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_compact(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    outcome = store.compact()
+    print(
+        f"compacted {store.directory}: {outcome.records} record(s) in "
+        f"results.jsonl ({outcome.lines_before} line(s) read, "
+        f"{outcome.shards_removed} shard file(s) removed)"
+    )
+    return 0
+
+
 def _run_status(args: argparse.Namespace) -> int:
     from repro.runtime.cluster import WorkQueue
 
@@ -339,9 +386,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(name)
         return 0
     if args.command == "resume":
+        if args.cluster and args.workers > 1:
+            parser.error(
+                "--cluster and --workers are mutually exclusive; scale a "
+                "cluster resume by starting extra 'perigee-sim worker' "
+                "processes"
+            )
         return _run_resume(args)
     if args.command == "submit":
         return _run_submit(args)
+    if args.command == "compact":
+        return _run_compact(args)
     if args.command == "worker":
         return _run_worker(args)
     if args.command == "status":
@@ -369,6 +424,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if isinstance(result, ProcessingDelaySweepResult):
         print("Figure 4(a) validation-delay sweep")
         print(render_sweep_report(result))
+    elif isinstance(result, NetworkScalingResult):
+        print("Network-size scaling study (large-network scenario)")
+        print(render_scaling_report(result))
     else:
         print(render_experiment_report(result))
     return 0

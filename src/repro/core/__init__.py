@@ -5,7 +5,12 @@ simulation driver."""
 from repro.core.block import Block
 from repro.core.network import P2PNetwork
 from repro.core.node import Node
-from repro.core.observations import Observation, ObservationSet
+from repro.core.observations import (
+    Observation,
+    ObservationMap,
+    ObservationSet,
+    RoundObservations,
+)
 from repro.core.propagation import PropagationEngine, PropagationResult
 from repro.core.simulator import RoundResult, Simulator
 
@@ -13,10 +18,12 @@ __all__ = [
     "Block",
     "Node",
     "Observation",
+    "ObservationMap",
     "ObservationSet",
     "P2PNetwork",
     "PropagationEngine",
     "PropagationResult",
+    "RoundObservations",
     "RoundResult",
     "Simulator",
 ]

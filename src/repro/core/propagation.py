@@ -33,6 +33,7 @@ from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
 
 from repro.core.network import P2PNetwork
+from repro.core.observations import RoundObservations
 from repro.latency.base import LatencyModel
 
 
@@ -195,29 +196,28 @@ class PropagationEngine:
             observations[u][v] = self._forward_time(arrival, source, int(v), int(u))
         return observations
 
-    def forwarding_time_matrix(
-        self,
-        network: P2PNetwork,
-        result: PropagationResult,
-    ) -> dict[tuple[int, int], np.ndarray]:
-        """Vectorised forwarding times for *all* blocks in ``result``.
+    def _directed_forwarding_times(
+        self, network: P2PNetwork, result: PropagationResult
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-directed-edge forwarding times for all blocks at once.
 
-        Returns a mapping from directed edge ``(u, v)`` to an array of length
-        ``num_blocks`` holding ``t^b_{u,v}`` for every block ``b``.  This is
-        the bulk interface the simulator uses to build observation sets for a
-        whole round at once.
+        Returns ``(senders, receivers, times)`` where row ``i`` of the
+        ``(2E, B)`` matrix ``times`` holds ``t^b_{senders[i], receivers[i]}``
+        for every block ``b``.  This is the shared (E, B)-native intermediate
+        behind both the columnar :class:`RoundObservations` emission and the
+        legacy per-edge dictionary.
         """
         edges = network.to_numpy_edges()
         if edges.shape[0] == 0:
-            return {}
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty, np.zeros((0, result.num_blocks), dtype=float)
         sources = result.sources  # (B,)
         u = edges[:, 0]
         v = edges[:, 1]
         delta = self._latency_matrix[u, v]  # (E,)
         # Work in (E, B) layout throughout: fancy-indexing the transposed
         # arrival matrix yields one contiguous per-edge row per directed
-        # edge, so the final dicts are built by a single C-level zip over
-        # rows instead of E Python-level column slices.
+        # edge.
         arrival_by_node = np.ascontiguousarray(result.arrival_times.T)  # (N, B)
         # Validation delay applies unless the forwarding node is the miner.
         val_u = np.where(
@@ -228,11 +228,57 @@ class PropagationEngine:
         )
         t_u_to_v = arrival_by_node[u] + val_u + delta[:, None]  # (E, B)
         t_v_to_u = arrival_by_node[v] + val_v + delta[:, None]
-        u_ids = u.tolist()
-        v_ids = v.tolist()
-        out = dict(zip(zip(u_ids, v_ids), t_u_to_v))
-        out.update(zip(zip(v_ids, u_ids), t_v_to_u))
-        return out
+        senders = np.concatenate([u, v])
+        receivers = np.concatenate([v, u])
+        times = np.concatenate([t_u_to_v, t_v_to_u], axis=0)  # (2E, B)
+        return senders, receivers, times
+
+    def round_observations(
+        self,
+        network: P2PNetwork,
+        result: PropagationResult,
+        block_ids: np.ndarray | list[int] | None = None,
+    ) -> RoundObservations:
+        """Columnar observation structure for a whole round.
+
+        This is the array-native interface the simulator uses: the
+        ``(2E, B)`` forwarding-time matrix goes straight into a
+        receiver-sorted :class:`RoundObservations` without ever
+        materialising per-edge dictionaries.  ``block_ids`` defaults to
+        ``0..num_blocks-1`` (callers with globally numbered blocks pass
+        their own ids).
+        """
+        if block_ids is None:
+            block_ids = np.arange(result.num_blocks, dtype=np.int64)
+        senders, receivers, times = self._directed_forwarding_times(
+            network, result
+        )
+        return RoundObservations.from_directed_edges(
+            num_nodes=self._num_nodes,
+            block_ids=block_ids,
+            senders=senders,
+            receivers=receivers,
+            times=times,
+        )
+
+    def forwarding_time_matrix(
+        self,
+        network: P2PNetwork,
+        result: PropagationResult,
+    ) -> dict[tuple[int, int], np.ndarray]:
+        """Vectorised forwarding times for *all* blocks in ``result``.
+
+        Returns a mapping from directed edge ``(u, v)`` to an array of length
+        ``num_blocks`` holding ``t^b_{u,v}`` for every block ``b``.  Kept for
+        callers that want per-edge vectors; the simulator itself consumes
+        :meth:`round_observations` instead.
+        """
+        senders, receivers, times = self._directed_forwarding_times(
+            network, result
+        )
+        if senders.size == 0:
+            return {}
+        return dict(zip(zip(senders.tolist(), receivers.tolist()), times))
 
     def _forward_time(
         self, arrival: np.ndarray, source: int, sender: int, receiver: int

@@ -24,7 +24,7 @@ import numpy as np
 from repro.config import SimulationConfig
 from repro.core.block import Block
 from repro.core.network import P2PNetwork
-from repro.core.observations import ObservationSet
+from repro.core.observations import ObservationMap
 from repro.core.propagation import PropagationEngine, PropagationResult
 from repro.datasets.bitnodes import NodePopulation, generate_population
 from repro.latency.base import LatencyModel
@@ -212,22 +212,21 @@ class Simulator:
 
     def collect_observations(
         self, blocks: list[Block], result: PropagationResult
-    ) -> dict[int, ObservationSet]:
+    ) -> ObservationMap:
         """Build each node's observation set for a round.
 
         Every node records, for every block, the delivery timestamp from each
-        of its communication neighbors (Section 4.1).
+        of its communication neighbors (Section 4.1).  The returned mapping
+        is a lazy view over the engine's columnar
+        :class:`~repro.core.observations.RoundObservations`: array-native
+        protocols read the round data directly, while indexing the mapping
+        materialises the legacy per-node :class:`ObservationSet` on demand.
         """
-        forwarding = self._engine.forwarding_time_matrix(self._network, result)
-        observations = {
-            node_id: ObservationSet(node_id=node_id)
-            for node_id in range(self._config.num_nodes)
-        }
-        for (sender, receiver), times in forwarding.items():
-            obs = observations[receiver]
-            for block_index, block in enumerate(blocks):
-                obs.record(block.block_id, sender, float(times[block_index]))
-        return observations
+        block_ids = np.array([block.block_id for block in blocks], dtype=np.int64)
+        round_observations = self._engine.round_observations(
+            self._network, result, block_ids=block_ids
+        )
+        return ObservationMap(round_observations)
 
     def evaluate(self) -> np.ndarray:
         """Per-source time to reach the configured hash power target (ms)."""

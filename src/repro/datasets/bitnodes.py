@@ -151,16 +151,24 @@ def sample_validation_delays(
 
 
 def generate_population(
-    config: SimulationConfig, rng: np.random.Generator | None = None
+    config: SimulationConfig,
+    rng: np.random.Generator | None = None,
+    regions: list[str] | None = None,
 ) -> NodePopulation:
     """Generate a node population for the given configuration.
 
     The same generator is shared by all experiments; which hash power
     distribution and validation-delay spread is used comes from ``config``.
+    ``regions`` optionally overrides the sampled per-node region assignment
+    (scenarios with deterministic regional mixes pass their own list); every
+    other draw continues on the same RNG stream.
     """
     if rng is None:
         rng = np.random.default_rng(config.seed)
-    regions = sample_regions(config.num_nodes, rng)
+    if regions is None:
+        regions = sample_regions(config.num_nodes, rng)
+    elif len(regions) != config.num_nodes:
+        raise ValueError("regions must have one entry per node")
     delays = sample_validation_delays(
         config.num_nodes,
         config.validation_delay_ms,

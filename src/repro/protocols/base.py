@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
@@ -73,14 +74,19 @@ class NeighborSelectionProtocol(abc.ABC):
         self,
         context: ProtocolContext,
         network: P2PNetwork,
-        observations: dict[int, ObservationSet],
+        observations: Mapping[int, ObservationSet],
         rng: np.random.Generator,
     ) -> None:
         """Per-round topology update (Algorithm 1).
 
-        The default implementation is a no-op, which is the correct behaviour
-        for the static baselines ("we do not change the topology with each
-        round", Section 5.1).
+        ``observations`` maps node ids to their round observations — the
+        simulator passes a lazy
+        :class:`~repro.core.observations.ObservationMap` whose backing
+        :class:`~repro.core.observations.RoundObservations` array-native
+        protocols read directly; a plain dict works identically.  The default
+        implementation is a no-op, which is the correct behaviour for the
+        static baselines ("we do not change the topology with each round",
+        Section 5.1).
         """
 
     def reset(self) -> None:

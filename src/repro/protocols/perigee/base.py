@@ -11,17 +11,27 @@ Every variant follows the same per-round template for each node ``v``:
 The base class implements the template, the topology initialisation (an
 arbitrary random topology, as if obtained from a bootstrapping server) and the
 mechanics of retaining/replacing connections under the incoming-capacity
-limits.  Subclasses provide :meth:`select_retained`.
+limits.  Subclasses provide :meth:`select_retained_block`, which receives the
+node's normalised observations as a ``(neighbors, blocks)`` timestamp block —
+when the simulator hands the update an
+:class:`~repro.core.observations.ObservationMap`, those blocks are sliced
+straight out of the round's columnar
+:class:`~repro.core.observations.RoundObservations` without materialising any
+per-node dictionaries; plain ``{node_id: ObservationSet}`` mappings are
+converted per node and behave identically.
 """
 
 from __future__ import annotations
 
-import abc
+from typing import Mapping
 
 import numpy as np
 
 from repro.core.network import P2PNetwork
-from repro.core.observations import ObservationSet
+from repro.core.observations import (
+    ObservationSet,
+    normalized_observation_provider,
+)
 from repro.protocols.base import (
     NeighborSelectionProtocol,
     ProtocolContext,
@@ -80,40 +90,118 @@ class PerigeeBase(NeighborSelectionProtocol):
     # ------------------------------------------------------------------ #
     # Round update (Algorithm 1)
     # ------------------------------------------------------------------ #
+    def updates_node(self, node_id: int) -> bool:
+        """Whether ``node_id`` runs the per-round update (all nodes by default).
+
+        Mixed-deployment wrappers override this to restrict Algorithm 1 to
+        adopter nodes.
+        """
+        del node_id
+        return True
+
     def update(
         self,
         context: ProtocolContext,
         network: P2PNetwork,
-        observations: dict[int, ObservationSet],
+        observations: Mapping[int, ObservationSet],
         rng: np.random.Generator,
     ) -> None:
         exploration = self.exploration_budget(context)
+        retain_budget = max(0, network.out_degree - exploration)
+        # Variants that only implement the legacy ObservationSet entry point
+        # get the full per-node set with its real (global) block ids — some
+        # third-party scorers accumulate observations across rounds and rely
+        # on the simulator's global block numbering.
+        legacy_only = (
+            type(self).select_retained_block is PerigeeBase.select_retained_block
+            and type(self).select_retained is not PerigeeBase.select_retained
+        )
+        provider = (
+            None if legacy_only else normalized_observation_provider(observations)
+        )
         order = rng.permutation(network.num_nodes)
         for raw_id in order:
             node_id = int(raw_id)
+            if not self.updates_node(node_id):
+                continue
             outgoing = network.outgoing_neighbors(node_id)
             if not outgoing:
                 network.fill_random_outgoing(node_id, rng)
                 continue
-            node_observations = observations.get(
-                node_id, ObservationSet(node_id=node_id)
-            )
-            normalized = node_observations.normalized()
-            retain_budget = max(0, network.out_degree - exploration)
-            retained = self.select_retained(
-                node_id=node_id,
-                outgoing=set(outgoing),
-                observations=normalized,
-                retain_budget=retain_budget,
-                rng=rng,
-            )
+            if legacy_only:
+                node_observations = observations.get(node_id)
+                if node_observations is None:
+                    node_observations = ObservationSet(node_id=node_id)
+                retained = self.select_retained(
+                    node_id=node_id,
+                    outgoing=set(outgoing),
+                    observations=node_observations.normalized(),
+                    retain_budget=retain_budget,
+                    rng=rng,
+                )
+            else:
+                neighbors = np.fromiter(
+                    sorted(outgoing), dtype=np.int64, count=len(outgoing)
+                )
+                times = provider(node_id, neighbors)
+                retained = self.select_retained_block(
+                    node_id=node_id,
+                    neighbors=neighbors,
+                    times=times,
+                    retain_budget=retain_budget,
+                    rng=rng,
+                )
             retained = {peer for peer in retained if peer in outgoing}
             self.on_neighbors_dropped(node_id, set(outgoing) - retained)
             network.replace_outgoing(
                 node_id, retained, rng, num_random=network.out_degree - len(retained)
             )
 
-    @abc.abstractmethod
+    def select_retained_block(
+        self,
+        node_id: int,
+        neighbors: np.ndarray,
+        times: np.ndarray,
+        retain_budget: int,
+        rng: np.random.Generator,
+    ) -> set[int]:
+        """Choose which outgoing neighbors to keep for the next round.
+
+        ``neighbors`` is the ascending array of the node's current outgoing
+        neighbors and ``times`` the matching ``(len(neighbors), B_v)``
+        time-normalised timestamp block (Equation 2 already applied; blocks
+        the node never heard of are dropped, deliveries that never happened
+        are ``inf``).  Implementations return a subset of ``neighbors`` of
+        size at most ``retain_budget``.
+
+        Variants implement *either* this array entry point (preferred — it is
+        the hot path) *or* the legacy :meth:`select_retained`; each default
+        implementation converts and delegates to the other, so existing
+        third-party protocols written against the ObservationSet interface
+        keep working unchanged.  (`update` routes legacy-only variants
+        through the real per-node sets with their global block ids; this
+        direct bridge only exists for callers holding a bare timestamp
+        block, where ids are synthesised as ``0..B_v-1``.)
+        """
+        if type(self).select_retained is PerigeeBase.select_retained:
+            raise NotImplementedError(
+                "Perigee variants must implement select_retained_block() "
+                "(or the legacy select_retained())"
+            )
+        observations = ObservationSet(node_id=node_id)
+        neighbor_ids = neighbors.tolist()
+        for block_index, column in enumerate(times.T.tolist()):
+            observations._by_block[block_index] = dict(
+                zip(neighbor_ids, column)
+            )
+        return self.select_retained(
+            node_id=node_id,
+            outgoing=set(neighbor_ids),
+            observations=observations,
+            retain_budget=retain_budget,
+            rng=rng,
+        )
+
     def select_retained(
         self,
         node_id: int,
@@ -122,11 +210,26 @@ class PerigeeBase(NeighborSelectionProtocol):
         retain_budget: int,
         rng: np.random.Generator,
     ) -> set[int]:
-        """Choose which outgoing neighbors to keep for the next round.
+        """Legacy per-node entry point over a normalised :class:`ObservationSet`.
 
-        ``observations`` is already time-normalised.  Implementations return a
-        subset of ``outgoing`` of size at most ``retain_budget``.
+        Converts the set into the array layout once and delegates to
+        :meth:`select_retained_block`; kept for callers that drive Algorithm 1
+        themselves (churn experiments, tests) and as the extension point of
+        dict-based third-party variants.
         """
+        neighbors = np.fromiter(
+            sorted(int(peer) for peer in outgoing),
+            dtype=np.int64,
+            count=len(outgoing),
+        )
+        times = observations.times_block(neighbors)
+        return self.select_retained_block(
+            node_id=node_id,
+            neighbors=neighbors,
+            times=times,
+            retain_budget=retain_budget,
+            rng=rng,
+        )
 
     def on_neighbors_dropped(self, node_id: int, dropped: set[int]) -> None:
         """Hook for variants that keep per-neighbor history (UCB)."""

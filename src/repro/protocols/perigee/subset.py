@@ -12,9 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.observations import ObservationSet
 from repro.protocols.perigee.base import PerigeeBase
-from repro.protocols.scoring import greedy_subset_selection
+from repro.protocols.scoring import greedy_subset_selection_block
 
 
 class PerigeeSubsetProtocol(PerigeeBase):
@@ -22,18 +21,18 @@ class PerigeeSubsetProtocol(PerigeeBase):
 
     name = "perigee-subset"
 
-    def select_retained(
+    def select_retained_block(
         self,
         node_id: int,
-        outgoing: set[int],
-        observations: ObservationSet,
+        neighbors: np.ndarray,
+        times: np.ndarray,
         retain_budget: int,
         rng: np.random.Generator,
     ) -> set[int]:
         del node_id, rng
         if retain_budget <= 0:
             return set()
-        selected = greedy_subset_selection(
-            observations, outgoing, retain_budget, self.percentile
+        selected = greedy_subset_selection_block(
+            neighbors, times, retain_budget, self.percentile
         )
         return set(selected)

@@ -18,12 +18,11 @@ from collections import defaultdict
 
 import numpy as np
 
-from repro.core.observations import ObservationSet
 from repro.protocols.perigee.base import PerigeeBase
 from repro.protocols.scoring import (
     DEFAULT_UCB_CONSTANT,
+    confidence_intervals_stacked,
     ucb_eviction_candidate,
-    ucb_scores,
 )
 
 
@@ -97,11 +96,11 @@ class PerigeeUCBProtocol(PerigeeBase):
         for neighbor in dropped:
             self._history[node_id].pop(neighbor, None)
 
-    def select_retained(
+    def select_retained_block(
         self,
         node_id: int,
-        outgoing: set[int],
-        observations: ObservationSet,
+        neighbors: np.ndarray,
+        times: np.ndarray,
         retain_budget: int,
         rng: np.random.Generator,
     ) -> set[int]:
@@ -110,22 +109,26 @@ class PerigeeUCBProtocol(PerigeeBase):
             return set()
         history = self._history[node_id]
         # Fold the new round's observations into the per-neighbor history.
-        for neighbor in outgoing:
-            samples = observations.finite_relative_timestamps(neighbor)
-            if samples:
-                bucket = history[neighbor]
-                bucket.extend(float(value) for value in samples)
+        # Rows are per-neighbor, so this loop is O(neighbors) with the
+        # per-sample work done by NumPy/C (mask, tolist, list extend).
+        finite = np.isfinite(times)
+        for row, neighbor_id in enumerate(neighbors.tolist()):
+            samples = times[row, finite[row]]
+            if samples.size:
+                bucket = history[neighbor_id]
+                bucket.extend(samples.tolist())
                 if len(bucket) > self._history_limit:
                     del bucket[: len(bucket) - self._history_limit]
             else:
-                history.setdefault(neighbor, [])
-        intervals = ucb_scores(
-            {neighbor: history.get(neighbor, []) for neighbor in outgoing},
+                history.setdefault(neighbor_id, [])
+        interval_list = confidence_intervals_stacked(
+            [history.get(int(neighbor), []) for neighbor in neighbors],
             percentile=self.percentile,
             exploration_constant=self._exploration_constant,
         )
+        intervals = dict(zip((int(n) for n in neighbors), interval_list))
         evict = ucb_eviction_candidate(intervals)
-        retained = set(outgoing)
+        retained = {int(neighbor) for neighbor in neighbors}
         if evict is not None:
             retained.discard(evict)
         if len(retained) > retain_budget:

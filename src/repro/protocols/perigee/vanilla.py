@@ -9,9 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.observations import ObservationSet
+from repro.core.observations import percentile_scores
 from repro.protocols.perigee.base import PerigeeBase
-from repro.protocols.scoring import vanilla_scores
 
 
 class PerigeeVanillaProtocol(PerigeeBase):
@@ -19,18 +18,19 @@ class PerigeeVanillaProtocol(PerigeeBase):
 
     name = "perigee-vanilla"
 
-    def select_retained(
+    def select_retained_block(
         self,
         node_id: int,
-        outgoing: set[int],
-        observations: ObservationSet,
+        neighbors: np.ndarray,
+        times: np.ndarray,
         retain_budget: int,
         rng: np.random.Generator,
     ) -> set[int]:
         del node_id, rng
         if retain_budget <= 0:
             return set()
-        scores = vanilla_scores(observations, outgoing, self.percentile)
-        # Lower score is better; ties are broken by node id for determinism.
-        ranked = sorted(outgoing, key=lambda peer: (scores[peer], peer))
-        return set(ranked[:retain_budget])
+        scores = percentile_scores(times, self.percentile)
+        # Lower score is better; ties are broken by node id for determinism
+        # (lexsort's secondary key is the ascending neighbor array).
+        ranked = np.lexsort((neighbors, scores))
+        return {int(peer) for peer in neighbors[ranked[:retain_budget]]}

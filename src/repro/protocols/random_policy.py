@@ -9,6 +9,8 @@ topology Theorem 1 shows to be logarithmically suboptimal.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 import numpy as np
 
 from repro.core.network import P2PNetwork
@@ -51,7 +53,7 @@ class RandomProtocol(NeighborSelectionProtocol):
         self,
         context: ProtocolContext,
         network: P2PNetwork,
-        observations: dict[int, ObservationSet],
+        observations: Mapping[int, ObservationSet],
         rng: np.random.Generator,
     ) -> None:
         if not self._reshuffle:

@@ -11,16 +11,45 @@ methods live here as standalone, unit-testable functions:
   (Section 4.2.2, Equations 3 and 4).
 * :func:`greedy_subset_selection` — the greedy complement-aware group
   selection of Section 4.3.
+
+Every scoring method is array-native: the hot path operates on a
+``(neighbors, blocks)`` timestamp block (one NumPy pass per node, no
+Python-level loop over observations), and the ``ObservationSet``-based
+signatures convert once via
+:meth:`~repro.core.observations.ObservationSet.times_block` and delegate.
+The ``*_block`` variants are what the Perigee protocols feed directly from
+:class:`~repro.core.observations.RoundObservations` views.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-from repro.core.observations import NEVER, ObservationSet, percentile_score
+from repro.core.observations import (
+    NEVER,
+    ObservationSet,
+    percentile_score,
+    percentile_scores,
+)
+
+__all__ = [
+    "SCORE_PERCENTILE",
+    "DEFAULT_UCB_CONSTANT",
+    "ConfidenceInterval",
+    "confidence_interval",
+    "confidence_intervals_stacked",
+    "greedy_subset_selection",
+    "greedy_subset_selection_block",
+    "group_score",
+    "percentile_score",
+    "ucb_eviction_candidate",
+    "ucb_scores",
+    "vanilla_scores",
+]
 
 #: Percentile used throughout the paper's scoring functions.
 SCORE_PERCENTILE = 90.0
@@ -40,11 +69,10 @@ def vanilla_scores(
     protocols normalise before calling.  Neighbors with no observations score
     infinity.
     """
-    scores: dict[int, float] = {}
-    for neighbor in neighbors:
-        timestamps = observations.relative_timestamps(neighbor)
-        scores[neighbor] = percentile_score(timestamps, percentile)
-    return scores
+    ordered = sorted(int(neighbor) for neighbor in neighbors)
+    times = observations.times_block(ordered)
+    scores = percentile_scores(times, percentile)
+    return {neighbor: float(score) for neighbor, score in zip(ordered, scores)}
 
 
 @dataclass(frozen=True)
@@ -67,6 +95,85 @@ class ConfidenceInterval:
             raise ValueError("lower bound cannot exceed upper bound")
 
 
+def _half_width(samples: int, exploration_constant: float) -> float:
+    """Equation-4 half width for ``samples`` finite observations."""
+    if samples >= 2:
+        return exploration_constant * math.sqrt(
+            math.log(samples) / (2.0 * samples)
+        )
+    # A single sample carries essentially no information; use a very wide
+    # interval so one lucky/unlucky block cannot trigger an eviction.
+    return exploration_constant * math.sqrt(math.log(2.0) / 2.0) * 4.0
+
+
+def _linear_percentile_rows(stacked: np.ndarray, percentile: float) -> np.ndarray:
+    """Row-wise ``np.percentile(..., axis=1)`` with the 'linear' method.
+
+    Replicates NumPy's virtual-index / partition / lerp arithmetic exactly
+    (same operations, same rounding) while skipping its generic dispatch
+    overhead — UCB scoring calls this once per history-length group per node,
+    so the per-call constant matters.  Bitwise equality with
+    ``np.percentile`` is pinned by the parity test suite.
+    """
+    count = stacked.shape[1]
+    virtual = (count - 1) * (percentile / 100.0)
+    previous = int(math.floor(virtual))
+    following = min(previous + 1, count - 1)
+    previous = min(previous, count - 1)
+    gamma = virtual - previous
+    part = np.partition(stacked, (previous, following), axis=1)
+    low = part[:, previous]
+    high = part[:, following]
+    diff = high - low
+    if gamma >= 0.5:
+        return high - diff * (1.0 - gamma)
+    return low + diff * gamma
+
+
+def confidence_intervals_stacked(
+    histories: Sequence[Sequence[float] | np.ndarray],
+    percentile: float = SCORE_PERCENTILE,
+    exploration_constant: float = DEFAULT_UCB_CONSTANT,
+) -> list[ConfidenceInterval]:
+    """Confidence intervals for many sample histories at once.
+
+    Histories are filtered to their finite samples, grouped by length, and
+    each group's percentile estimates are computed in one stacked
+    ``np.percentile`` call — neighbors with equally long histories (the
+    common case, since connected neighbors accumulate samples in lockstep)
+    share a single NumPy pass.  Returns one interval per input history, in
+    order; with no finite samples the estimate and both bounds are infinite,
+    which makes a silent neighbor the most eviction-worthy candidate.
+    """
+    finite_rows: list[np.ndarray] = []
+    for samples in histories:
+        row = np.asarray(samples, dtype=float)
+        finite_rows.append(row[np.isfinite(row)])
+    intervals: list[ConfidenceInterval | None] = [None] * len(finite_rows)
+    by_length: dict[int, list[int]] = {}
+    for index, row in enumerate(finite_rows):
+        by_length.setdefault(row.size, []).append(index)
+    for length, indices in by_length.items():
+        if length == 0:
+            for index in indices:
+                intervals[index] = ConfidenceInterval(
+                    estimate=NEVER, lower=NEVER, upper=NEVER, samples=0
+                )
+            continue
+        stacked = np.stack([finite_rows[index] for index in indices])
+        estimates = _linear_percentile_rows(stacked, percentile)
+        half_width = _half_width(length, exploration_constant)
+        for index, estimate in zip(indices, estimates):
+            value = float(estimate)
+            intervals[index] = ConfidenceInterval(
+                estimate=value,
+                lower=value - half_width,
+                upper=value + half_width,
+                samples=length,
+            )
+    return intervals  # type: ignore[return-value]
+
+
 def confidence_interval(
     samples: list[float] | np.ndarray,
     percentile: float = SCORE_PERCENTILE,
@@ -79,25 +186,9 @@ def confidence_interval(
     With no finite samples the estimate and both bounds are infinite, which
     makes a silent neighbor the most eviction-worthy candidate.
     """
-    finite = [t for t in samples if math.isfinite(t)]
-    if not finite:
-        return ConfidenceInterval(
-            estimate=NEVER, lower=NEVER, upper=NEVER, samples=0
-        )
-    estimate = float(np.percentile(np.asarray(finite, dtype=float), percentile))
-    m = len(finite)
-    if m >= 2:
-        half_width = exploration_constant * math.sqrt(math.log(m) / (2.0 * m))
-    else:
-        # A single sample carries essentially no information; use a very wide
-        # interval so one lucky/unlucky block cannot trigger an eviction.
-        half_width = exploration_constant * math.sqrt(math.log(2.0) / 2.0) * 4.0
-    return ConfidenceInterval(
-        estimate=estimate,
-        lower=estimate - half_width,
-        upper=estimate + half_width,
-        samples=m,
-    )
+    return confidence_intervals_stacked(
+        [samples], percentile, exploration_constant
+    )[0]
 
 
 def ucb_scores(
@@ -111,10 +202,13 @@ def ucb_scores(
     timestamps accumulated over the rounds it has been connected
     (``≈T_{u,v}`` in the paper).
     """
-    return {
-        neighbor: confidence_interval(samples, percentile, exploration_constant)
-        for neighbor, samples in history.items()
-    }
+    neighbors = list(history)
+    intervals = confidence_intervals_stacked(
+        [history[neighbor] for neighbor in neighbors],
+        percentile,
+        exploration_constant,
+    )
+    return dict(zip(neighbors, intervals))
 
 
 def ucb_eviction_candidate(
@@ -143,6 +237,76 @@ def ucb_eviction_candidate(
     return None
 
 
+def greedy_subset_selection_block(
+    neighbors: np.ndarray,
+    times: np.ndarray,
+    subset_size: int,
+    percentile: float = SCORE_PERCENTILE,
+) -> list[int]:
+    """Array-native greedy complement-aware selection (Section 4.3).
+
+    ``neighbors`` is an ascending id array and ``times`` the matching
+    ``(k, B)`` normalised timestamp block.  Each greedy step evaluates every
+    remaining neighbor's transformed multiset
+    ``min(t̃_{u,v}, min_{i<=k} t̃_{u_i,v})`` in one vectorised pass.  Ties
+    resolve to the lowest neighbor id, matching the dict-based
+    implementation bit for bit.
+    """
+    if subset_size < 0:
+        raise ValueError("subset_size must be non-negative")
+    if not 0.0 <= percentile <= 100.0:
+        raise ValueError("percentile must be within [0, 100]")
+    neighbors = np.asarray(neighbors, dtype=np.int64)
+    times = np.asarray(times, dtype=float)
+    if times.shape[0] != neighbors.size:
+        raise ValueError("times must have one row per neighbor")
+    if subset_size == 0 or neighbors.size == 0:
+        return []
+    num_blocks = times.shape[1]
+    if num_blocks == 0:
+        # No observed blocks: every score is infinite and so is every
+        # finite-sample mean, so the fallback fills the budget in ascending
+        # neighbor-id order.
+        return [int(peer) for peer in neighbors[: subset_size]]
+    # Interpolation anchors of the percentile are fixed by the block count,
+    # so they are hoisted out of the greedy loop (percentile_scores computes
+    # the identical formula per row).
+    rank = percentile / 100.0 * (num_blocks - 1)
+    lower = int(math.floor(rank))
+    upper = int(math.ceil(rank))
+    weight = rank - lower
+    candidates = list(range(neighbors.size))
+    group_best = np.full(num_blocks, NEVER, dtype=float)
+    selected: list[int] = []
+    while candidates and len(selected) < subset_size:
+        transformed = np.minimum(times[candidates], group_best[None, :])
+        transformed.partition((lower, upper), axis=1)
+        low = transformed[:, lower]
+        high = transformed[:, upper]
+        finite = np.isfinite(low) & np.isfinite(high)
+        if finite.any():
+            if lower == upper:
+                scores = np.where(finite, low, NEVER)
+            else:
+                scores = np.where(
+                    finite, low * (1.0 - weight) + high * weight, NEVER
+                )
+            local = int(np.argmin(scores))
+        else:
+            # Every remaining neighbor has an infinite score (e.g. none of
+            # them delivered enough blocks).  Fall back to picking the one
+            # with the smallest finite-sample mean so the group still fills
+            # up deterministically.
+            means = np.array(
+                [_finite_mean(times[index]) for index in candidates]
+            )
+            local = int(np.argmin(means))
+        pick = candidates.pop(local)
+        selected.append(int(neighbors[pick]))
+        group_best = np.minimum(times[pick], group_best)
+    return selected
+
+
 def greedy_subset_selection(
     observations: ObservationSet,
     neighbors: set[int] | frozenset[int],
@@ -162,47 +326,13 @@ def greedy_subset_selection(
     """
     if subset_size < 0:
         raise ValueError("subset_size must be non-negative")
-    remaining = {int(neighbor) for neighbor in neighbors}
-    if subset_size == 0 or not remaining:
+    ordered = np.array(
+        sorted({int(neighbor) for neighbor in neighbors}), dtype=np.int64
+    )
+    if subset_size == 0 or ordered.size == 0:
         return []
-    block_ids = observations.block_ids
-    # Cache the per-neighbor timestamp vectors aligned on block_ids.
-    per_block = [observations.timestamps_for_block(block_id) for block_id in block_ids]
-    timestamps: dict[int, np.ndarray] = {
-        neighbor: np.array(
-            [deliveries.get(neighbor, NEVER) for deliveries in per_block],
-            dtype=float,
-        )
-        for neighbor in remaining
-    }
-    selected: list[int] = []
-    # Running elementwise minimum over the already-selected neighbors.
-    group_best = np.full(len(block_ids), NEVER, dtype=float)
-    while remaining and len(selected) < subset_size:
-        best_neighbor = None
-        best_score = math.inf
-        best_transformed = None
-        for neighbor in sorted(remaining):
-            transformed = np.minimum(timestamps[neighbor], group_best)
-            score = percentile_score(transformed, percentile)
-            if score < best_score:
-                best_score = score
-                best_neighbor = neighbor
-                best_transformed = transformed
-        if best_neighbor is None:
-            # Every remaining neighbor has an infinite score (e.g. none of
-            # them delivered enough blocks).  Fall back to picking the one
-            # with the smallest finite-sample mean so the group still fills up
-            # deterministically.
-            best_neighbor = min(
-                sorted(remaining),
-                key=lambda peer: _finite_mean(timestamps[peer]),
-            )
-            best_transformed = np.minimum(timestamps[best_neighbor], group_best)
-        selected.append(best_neighbor)
-        remaining.discard(best_neighbor)
-        group_best = best_transformed
-    return selected
+    times = observations.times_block(ordered)
+    return greedy_subset_selection_block(ordered, times, subset_size, percentile)
 
 
 def _finite_mean(values: np.ndarray) -> float:
@@ -225,11 +355,8 @@ def group_score(
     members = sorted({int(member) for member in group})
     if not members:
         return NEVER
-    values = []
-    for block_id in observations.block_ids:
-        deliveries = observations.timestamps_for_block(block_id)
-        best = min(
-            (deliveries.get(member, NEVER) for member in members), default=NEVER
-        )
-        values.append(best)
-    return percentile_score(values, percentile)
+    times = observations.times_block(members)
+    if times.shape[1] == 0:
+        return percentile_score([], percentile)
+    best = np.min(times, axis=0)
+    return percentile_score(best, percentile)

@@ -59,11 +59,12 @@ from repro.runtime.scenarios import (
     get_scenario,
     register_scenario,
 )
-from repro.runtime.store import ResultStore
+from repro.runtime.store import CompactionResult, ResultStore
 from repro.runtime.tasks import SweepSpec, Task, TaskRecord
 
 __all__ = [
     "ClusterExecutor",
+    "CompactionResult",
     "ParallelExecutor",
     "ResultStore",
     "WorkQueue",

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.config import SimulationConfig
 from repro.datasets.bitnodes import NodePopulation, generate_population
+from repro.datasets.regions import REGIONS, region_proportion_vector
 from repro.latency.base import LatencyModel
 from repro.latency.geo import GeographicLatencyModel
 from repro.latency.relay import (
@@ -137,6 +138,35 @@ def _relay_latency(
     return apply_relay_overlay(base, overlay, member_pair_latency_ms=link_ms * 4)
 
 
+def _large_network_population(
+    config: SimulationConfig,
+    params: Mapping[str, Any],
+    rng: np.random.Generator,
+) -> NodePopulation:
+    """Thousands-of-nodes scenario with the exact Bitnodes regional mix.
+
+    The default population *samples* each node's region, so small networks
+    drift from the snapshot proportions and huge ones only match them in
+    expectation.  Large-network runs (the scale Ethna-style crawls report —
+    roughly 10k reachable nodes) instead allocate region counts
+    deterministically by largest remainder, so a 2000- or 5000-node overlay
+    reproduces the Bitnodes mix exactly and scaling sweeps compare like with
+    like across sizes.  Region assignment order is then shuffled so node id
+    carries no geographic information.
+    """
+    proportions = region_proportion_vector()
+    quotas = proportions * config.num_nodes
+    counts = np.floor(quotas).astype(int)
+    remainder = config.num_nodes - int(counts.sum())
+    if remainder > 0:
+        for index in np.argsort(-(quotas - counts))[:remainder]:
+            counts[index] += 1
+    region_indices = np.repeat(np.arange(len(REGIONS)), counts)
+    rng.shuffle(region_indices)
+    regions = [REGIONS[index] for index in region_indices]
+    return generate_population(config, rng, regions=regions)
+
+
 _SCENARIOS: dict[str, Scenario] = {
     "default": Scenario(
         name="default",
@@ -152,6 +182,11 @@ _SCENARIOS: dict[str, Scenario] = {
         name="relay",
         build_population=_relay_population,
         build_latency=_relay_latency,
+    ),
+    "large-network": Scenario(
+        name="large-network",
+        build_population=_large_network_population,
+        build_latency=_default_latency,
     ),
 }
 
@@ -188,6 +223,6 @@ def register_scenario(scenario: Scenario) -> None:
 
 def unregister_scenario(name: str) -> None:
     """Remove a custom scenario; built-ins cannot be removed."""
-    if name in ("default", "miner-speedup", "relay"):
+    if name in ("default", "miner-speedup", "relay", "large-network"):
         raise ValueError(f"cannot unregister built-in scenario {name!r}")
     _SCENARIOS.pop(name, None)

@@ -38,6 +38,7 @@ import json
 import os
 import re
 import secrets
+from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
@@ -80,6 +81,26 @@ def iter_jsonl_payloads(path: Path) -> Iterator[dict]:
                 continue
             if isinstance(payload, dict):
                 yield payload
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """Outcome of :meth:`ResultStore.compact`.
+
+    Attributes
+    ----------
+    records:
+        Distinct task records written to the merged ``results.jsonl``.
+    shards_removed:
+        Per-worker shard files deleted after the merge.
+    lines_before:
+        Record lines read across all files before compaction (duplicates
+        from reclaimed leases and superseded failures included).
+    """
+
+    records: int
+    shards_removed: int
+    lines_before: int
 
 
 class ResultStore:
@@ -174,6 +195,64 @@ class ResultStore:
                 continue
             records[record.key] = record
         return records
+
+    def compact(self) -> CompactionResult:
+        """Merge every ``results-<worker>.jsonl`` shard into ``results.jsonl``.
+
+        A cluster sweep leaves one shard per worker; once the sweep is done
+        those shards are pure read-amplification (every load re-merges all of
+        them) and duplicate records from reclaimed leases accumulate.
+        Compaction applies the usual merge rules (ok beats failed, last
+        record per key wins), rewrites ``results.jsonl`` atomically via a
+        temp file + rename, and then removes the shard files — so a reader
+        racing the compaction sees either the old file set or the new one,
+        never a partial state.
+
+        Must only run after the sweep has drained (no live workers are
+        appending to their shards); the ``perigee-sim compact`` command is
+        the intended entry point.  Writer-bound views cannot compact.
+        """
+        if self._writer is not None:
+            raise RuntimeError(
+                "compact() must run on the coordinator store, not a "
+                "writer-bound shard view"
+            )
+        shard_files = [
+            path
+            for path in self.shard_paths()
+            if path.name != RESULTS_FILENAME
+        ]
+        lines_before = 0
+        merged: dict[str, TaskRecord] = {}
+        for record in self.iter_records():
+            lines_before += 1
+            current = merged.get(record.key)
+            if current is not None and current.ok and not record.ok:
+                continue
+            merged[record.key] = record
+        target = self._directory / RESULTS_FILENAME
+        if merged:
+            self._directory.mkdir(parents=True, exist_ok=True)
+            tmp_path = target.with_name(
+                f".{target.name}.tmp-{os.getpid()}-{secrets.token_hex(3)}"
+            )
+            with tmp_path.open("w", encoding="utf-8") as handle:
+                for record in merged.values():
+                    handle.write(json.dumps(record.to_dict(), sort_keys=True))
+                    handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            tmp_path.replace(target)
+        for path in shard_files:
+            try:
+                path.unlink()
+            except FileNotFoundError:  # pragma: no cover - concurrent cleanup
+                pass
+        return CompactionResult(
+            records=len(merged),
+            shards_removed=len(shard_files),
+            lines_before=lines_before,
+        )
 
     def __contains__(self, key: str) -> bool:
         """Membership test; re-reads the files — use :meth:`load` for bulk checks."""

@@ -1,0 +1,457 @@
+"""Property-based parity: array-native pipeline vs the legacy dict pipeline.
+
+The array refactor (columnar ``RoundObservations``, vectorised Equation-2
+normalisation and scoring) promises *bit-for-bit* the same behaviour as the
+original ``ObservationSet`` dict-of-dicts pipeline.  This suite pins that
+promise with reference implementations copied from the pre-refactor code
+(dict-built observation sets, per-value normalisation, scalar percentile
+loops, per-neighbor ``np.percentile`` confidence intervals) and asserts exact
+equality — normalised timestamps, scores, retained-neighbor sets for all
+three Perigee variants, and whole-simulation outcomes — across random
+topologies, latencies and seeds.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import default_config
+from repro.core.network import P2PNetwork
+from repro.core.observations import (
+    NEVER,
+    ObservationMap,
+    ObservationSet,
+    normalized_observation_provider,
+    percentile_score,
+    percentile_scores,
+)
+from repro.core.propagation import PropagationEngine
+from repro.core.simulator import Simulator
+from repro.latency.base import MatrixLatencyModel
+from repro.protocols.base import random_initial_topology
+from repro.protocols.perigee.base import PerigeeBase
+from repro.protocols.perigee.subset import PerigeeSubsetProtocol
+from repro.protocols.perigee.ucb import PerigeeUCBProtocol
+from repro.protocols.perigee.vanilla import PerigeeVanillaProtocol
+from repro.protocols.registry import make_protocol
+from repro.protocols.scoring import (
+    _linear_percentile_rows,
+    confidence_interval,
+    confidence_intervals_stacked,
+    greedy_subset_selection_block,
+    vanilla_scores,
+)
+from repro.security.eclipse import _HeadStartPerigee
+from repro.security.freeride import _FreeRidingAwarePerigee
+
+common_settings = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+ALL_VARIANTS = [PerigeeVanillaProtocol, PerigeeUCBProtocol, PerigeeSubsetProtocol]
+
+
+# --------------------------------------------------------------------------- #
+# Round construction + reference (pre-refactor) implementations
+# --------------------------------------------------------------------------- #
+def build_round(num_nodes, out_degree, num_blocks, seed):
+    """Random topology + latencies + one propagated round."""
+    rng = np.random.default_rng(seed)
+    network = P2PNetwork(num_nodes, out_degree=out_degree, max_incoming=8)
+    random_initial_topology(network, rng)
+    matrix = rng.uniform(1.0, 200.0, size=(num_nodes, num_nodes))
+    latency = MatrixLatencyModel(matrix)
+    validation = rng.uniform(0.0, 60.0, size=num_nodes)
+    engine = PropagationEngine(latency, validation)
+    sources = rng.integers(0, num_nodes, size=num_blocks)
+    result = engine.propagate(network, sources)
+    return rng, network, engine, result
+
+
+def legacy_collect(engine, network, result, block_ids):
+    """The seed's ``Simulator.collect_observations``: dicts built per edge."""
+    forwarding = engine.forwarding_time_matrix(network, result)
+    observations = {
+        node_id: ObservationSet(node_id=node_id)
+        for node_id in range(network.num_nodes)
+    }
+    for (sender, receiver), times in forwarding.items():
+        obs = observations[receiver]
+        for index, block_id in enumerate(block_ids):
+            obs.record(block_id, sender, float(times[index]))
+    return observations
+
+
+def legacy_vanilla_scores(observations, neighbors, percentile=90.0):
+    """The seed's per-neighbor percentile loop."""
+    scores = {}
+    for neighbor in neighbors:
+        values = []
+        for deliveries in observations._by_block.values():
+            values.append(deliveries.get(neighbor, NEVER))
+        scores[neighbor] = percentile_score(values, percentile)
+    return scores
+
+
+def legacy_greedy_subset(observations, neighbors, subset_size, percentile=90.0):
+    """The seed's dict-based greedy complement-aware selection."""
+    remaining = {int(neighbor) for neighbor in neighbors}
+    if subset_size == 0 or not remaining:
+        return []
+    block_ids = observations.block_ids
+    per_block = [
+        observations.timestamps_for_block(block_id) for block_id in block_ids
+    ]
+    timestamps = {
+        neighbor: np.array(
+            [deliveries.get(neighbor, NEVER) for deliveries in per_block],
+            dtype=float,
+        )
+        for neighbor in remaining
+    }
+    selected = []
+    group_best = np.full(len(block_ids), NEVER, dtype=float)
+    while remaining and len(selected) < subset_size:
+        best_neighbor = None
+        best_score = math.inf
+        best_transformed = None
+        for neighbor in sorted(remaining):
+            transformed = np.minimum(timestamps[neighbor], group_best)
+            score = percentile_score(transformed, percentile)
+            if score < best_score:
+                best_score = score
+                best_neighbor = neighbor
+                best_transformed = transformed
+        if best_neighbor is None:
+            def finite_mean(values):
+                finite = values[np.isfinite(values)]
+                return float(finite.mean()) if finite.size else math.inf
+
+            best_neighbor = min(
+                sorted(remaining), key=lambda peer: finite_mean(timestamps[peer])
+            )
+            best_transformed = np.minimum(timestamps[best_neighbor], group_best)
+        selected.append(best_neighbor)
+        remaining.discard(best_neighbor)
+        group_best = best_transformed
+    return selected
+
+
+def legacy_confidence_interval(samples, percentile=90.0, constant=60.0):
+    """The seed's per-neighbor interval (direct ``np.percentile``)."""
+    finite = [t for t in samples if math.isfinite(t)]
+    if not finite:
+        return (NEVER, NEVER, NEVER, 0)
+    estimate = float(np.percentile(np.asarray(finite, dtype=float), percentile))
+    m = len(finite)
+    if m >= 2:
+        half_width = constant * math.sqrt(math.log(m) / (2.0 * m))
+    else:
+        half_width = constant * math.sqrt(math.log(2.0) / 2.0) * 4.0
+    return (estimate, estimate - half_width, estimate + half_width, m)
+
+
+round_strategy = dict(
+    num_nodes=st.integers(min_value=8, max_value=36),
+    out_degree=st.integers(min_value=2, max_value=6),
+    num_blocks=st.integers(min_value=1, max_value=14),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+# --------------------------------------------------------------------------- #
+# Raw collection and normalisation parity
+# --------------------------------------------------------------------------- #
+@common_settings
+@given(**round_strategy)
+def test_materialised_observation_sets_match_legacy_collection(
+    num_nodes, out_degree, num_blocks, seed
+):
+    _, network, engine, result = build_round(
+        num_nodes, out_degree, num_blocks, seed
+    )
+    block_ids = list(range(num_blocks))
+    reference = legacy_collect(engine, network, result, block_ids)
+    observation_map = ObservationMap(
+        engine.round_observations(network, result, block_ids=block_ids)
+    )
+    assert set(observation_map) == set(reference)
+    for node_id, expected in reference.items():
+        materialised = observation_map[node_id]
+        assert materialised.block_ids == expected.block_ids
+        for block_id in expected.block_ids:
+            assert materialised.timestamps_for_block(block_id) == (
+                expected.timestamps_for_block(block_id)
+            )
+
+
+@common_settings
+@given(**round_strategy)
+def test_normalized_rows_match_legacy_normalisation(
+    num_nodes, out_degree, num_blocks, seed
+):
+    _, network, engine, result = build_round(
+        num_nodes, out_degree, num_blocks, seed
+    )
+    block_ids = list(range(num_blocks))
+    reference = legacy_collect(engine, network, result, block_ids)
+    observation_map = ObservationMap(
+        engine.round_observations(network, result, block_ids=block_ids)
+    )
+    provider = normalized_observation_provider(observation_map)
+    for node_id in range(num_nodes):
+        normalized = reference[node_id].normalized()
+        neighbors = np.array(
+            sorted(network.neighbors(node_id)), dtype=np.int64
+        )
+        rows = provider(node_id, neighbors)
+        expected = normalized.times_block(neighbors)
+        # Exact equality, including the inf pattern of never-delivered blocks.
+        assert rows.shape == expected.shape
+        assert np.array_equal(rows, expected)
+
+
+# --------------------------------------------------------------------------- #
+# Scoring parity (the three Perigee scoring methods)
+# --------------------------------------------------------------------------- #
+@common_settings
+@given(**round_strategy)
+def test_vanilla_scores_match_legacy_loop(num_nodes, out_degree, num_blocks, seed):
+    _, network, engine, result = build_round(
+        num_nodes, out_degree, num_blocks, seed
+    )
+    block_ids = list(range(num_blocks))
+    reference = legacy_collect(engine, network, result, block_ids)
+    for node_id in range(num_nodes):
+        normalized = reference[node_id].normalized()
+        outgoing = set(network.outgoing_neighbors(node_id))
+        expected = legacy_vanilla_scores(normalized, outgoing)
+        actual = vanilla_scores(normalized, outgoing)
+        assert actual == expected
+
+
+@common_settings
+@given(**round_strategy, budget=st.integers(min_value=0, max_value=8))
+def test_greedy_subset_matches_legacy_selection(
+    num_nodes, out_degree, num_blocks, seed, budget
+):
+    _, network, engine, result = build_round(
+        num_nodes, out_degree, num_blocks, seed
+    )
+    block_ids = list(range(num_blocks))
+    reference = legacy_collect(engine, network, result, block_ids)
+    for node_id in range(num_nodes):
+        normalized = reference[node_id].normalized()
+        outgoing = sorted(network.outgoing_neighbors(node_id))
+        expected = legacy_greedy_subset(normalized, outgoing, budget)
+        neighbors = np.array(outgoing, dtype=np.int64)
+        actual = greedy_subset_selection_block(
+            neighbors, normalized.times_block(neighbors), budget
+        )
+        assert actual == expected
+
+
+@common_settings
+@given(
+    histories=st.lists(
+        st.lists(
+            st.one_of(
+                st.floats(
+                    min_value=0.0,
+                    max_value=1e6,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                st.just(NEVER),
+            ),
+            max_size=60,
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    percentile=st.floats(min_value=1.0, max_value=100.0),
+)
+def test_stacked_intervals_match_per_neighbor_reference(histories, percentile):
+    stacked = confidence_intervals_stacked(histories, percentile=percentile)
+    for samples, interval in zip(histories, stacked):
+        single = confidence_interval(samples, percentile=percentile)
+        assert (interval.estimate, interval.lower, interval.upper) == (
+            single.estimate,
+            single.lower,
+            single.upper,
+        )
+        expected = legacy_confidence_interval(samples, percentile=percentile)
+        assert (
+            interval.estimate,
+            interval.lower,
+            interval.upper,
+            interval.samples,
+        ) == expected
+
+
+@common_settings
+@given(
+    rows=st.integers(min_value=1, max_value=6),
+    cols=st.integers(min_value=1, max_value=120),
+    seed=st.integers(min_value=0, max_value=10_000),
+    percentile=st.floats(min_value=0.0, max_value=100.0),
+)
+def test_linear_percentile_rows_is_bitwise_np_percentile(
+    rows, cols, seed, percentile
+):
+    rng = np.random.default_rng(seed)
+    stacked = rng.normal(scale=100.0, size=(rows, cols))
+    expected = np.percentile(stacked, percentile, axis=1)
+    actual = _linear_percentile_rows(stacked, percentile)
+    assert np.array_equal(expected, actual)
+
+
+@common_settings
+@given(
+    rows=st.integers(min_value=0, max_value=6),
+    cols=st.integers(min_value=0, max_value=40),
+    seed=st.integers(min_value=0, max_value=10_000),
+    percentile=st.floats(min_value=0.0, max_value=100.0),
+    infinity_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_percentile_scores_matches_scalar_rows(
+    rows, cols, seed, percentile, infinity_fraction
+):
+    rng = np.random.default_rng(seed)
+    times = rng.uniform(0.0, 500.0, size=(rows, cols))
+    times[rng.uniform(size=times.shape) < infinity_fraction] = NEVER
+    vector = percentile_scores(times, percentile)
+    for row in range(rows):
+        assert vector[row] == percentile_score(times[row], percentile)
+
+
+# --------------------------------------------------------------------------- #
+# Retained-neighbor and full-simulation parity for the three variants
+# --------------------------------------------------------------------------- #
+class _ForcedDictPath:
+    """Mixin forcing ``update`` onto the legacy dict-of-ObservationSet path."""
+
+    def update(self, context, network, observations, rng):
+        forced = {node_id: observations[node_id] for node_id in observations}
+        super().update(context, network, forced, rng)
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS)
+@pytest.mark.parametrize("seed", [0, 3])
+def test_simulation_identical_on_array_and_dict_paths(variant, seed):
+    config = default_config(
+        num_nodes=50, rounds=5, blocks_per_round=12, seed=seed
+    )
+
+    forced_cls = type("Forced" + variant.__name__, (_ForcedDictPath, variant), {})
+    fast = Simulator(config, variant()).run(rounds=5)
+    slow = Simulator(config, forced_cls()).run(rounds=5)
+
+    assert (
+        fast.final_reach_times_ms.tobytes() == slow.final_reach_times_ms.tobytes()
+    )
+    fast_net = Simulator(config, variant())
+    slow_net = Simulator(config, forced_cls())
+    fast_net.run(rounds=5)
+    slow_net.run(rounds=5)
+    assert fast_net.network.edge_list() == slow_net.network.edge_list()
+
+
+class _LegacyOnlyVanilla(PerigeeBase):
+    """A PerigeeBase subclass implementing only the legacy dict entry point."""
+
+    name = "legacy-only-vanilla"
+
+    def select_retained(self, node_id, outgoing, observations, retain_budget, rng):
+        del node_id, rng
+        if retain_budget <= 0:
+            return set()
+        scores = {
+            neighbor: percentile_score(
+                observations.relative_timestamps(neighbor), 90.0
+            )
+            for neighbor in outgoing
+        }
+        ranked = sorted(outgoing, key=lambda peer: (scores[peer], peer))
+        return set(ranked[:retain_budget])
+
+
+def test_legacy_select_retained_subclass_matches_vanilla():
+    """Third-party variants written against ObservationSet still work."""
+    config = default_config(num_nodes=40, rounds=4, blocks_per_round=10, seed=6)
+    legacy = Simulator(config, _LegacyOnlyVanilla())
+    vanilla = Simulator(config, PerigeeVanillaProtocol())
+    legacy.run(rounds=4)
+    vanilla.run(rounds=4)
+    assert legacy.network.edge_list() == vanilla.network.edge_list()
+
+
+def test_legacy_variant_receives_global_block_ids():
+    """update() hands legacy dict variants the real (global) block numbering.
+
+    Third-party scorers may accumulate observation sets across rounds via
+    ``ObservationSet.merge``, which relies on the simulator numbering blocks
+    globally — the array fast path must not renumber them per round.
+    """
+    seen_block_ids: list[int] = []
+
+    class _Recorder(PerigeeBase):
+        name = "recorder"
+
+        def select_retained(
+            self, node_id, outgoing, observations, retain_budget, rng
+        ):
+            del node_id, rng
+            seen_block_ids.extend(observations.block_ids)
+            return set(sorted(outgoing)[:retain_budget])
+
+    config = default_config(num_nodes=30, rounds=3, blocks_per_round=5, seed=4)
+    Simulator(config, _Recorder()).run(rounds=3)
+    # Rounds mine blocks 0..4, 5..9, 10..14; the last round's ids must
+    # surface as-is, not as a per-round 0..4 renumbering.
+    assert max(seen_block_ids) >= 10
+
+
+def test_base_without_any_selector_raises():
+    protocol = PerigeeBase()
+    with pytest.raises(NotImplementedError):
+        protocol.select_retained_block(
+            node_id=0,
+            neighbors=np.array([1, 2], dtype=np.int64),
+            times=np.zeros((2, 3)),
+            retain_budget=1,
+            rng=np.random.default_rng(0),
+        )
+
+
+@pytest.mark.parametrize("variant_name", ["perigee-subset", "perigee-ucb"])
+def test_simulation_deterministic_across_runs(variant_name):
+    config = default_config(num_nodes=40, rounds=4, blocks_per_round=10, seed=9)
+    first = Simulator(config, make_protocol(variant_name)).run(rounds=4)
+    second = Simulator(config, make_protocol(variant_name)).run(rounds=4)
+    assert (
+        first.final_reach_times_ms.tobytes()
+        == second.final_reach_times_ms.tobytes()
+    )
+
+
+@pytest.mark.parametrize(
+    "wrapper_kwargs",
+    [
+        (_FreeRidingAwarePerigee, {"free_riders": {1, 4, 7}}),
+        (_HeadStartPerigee, {"adversaries": {2, 5}, "head_start_ms": 25.0}),
+    ],
+)
+def test_security_wrappers_identical_on_array_and_dict_paths(wrapper_kwargs):
+    wrapper, kwargs = wrapper_kwargs
+    config = default_config(num_nodes=40, rounds=4, blocks_per_round=10, seed=2)
+
+    forced_cls = type("Forced" + wrapper.__name__, (_ForcedDictPath, wrapper), {})
+    fast = Simulator(config, wrapper(**kwargs))
+    slow = Simulator(config, forced_cls(**kwargs))
+    fast.run(rounds=4)
+    slow.run(rounds=4)
+    assert fast.network.edge_list() == slow.network.edge_list()
