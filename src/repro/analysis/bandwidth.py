@@ -36,7 +36,7 @@ from repro.core.network import P2PNetwork
 from repro.core.simulator import Simulator
 from repro.datasets.bitnodes import NodePopulation, generate_population
 from repro.latency.geo import GeographicLatencyModel
-from repro.metrics.delay import hash_power_reach_times
+from repro.metrics.evaluator import DEFAULT_EVALUATOR
 from repro.protocols.registry import make_protocol
 
 #: Default uplink speeds, spanning the range reported for Bitcoin nodes.
@@ -141,14 +141,15 @@ def run_bandwidth_experiment(
         )
         if simulator.protocol.is_adaptive:
             simulator.run(rounds=rounds)
-        arrival = simulator.engine.all_sources_arrival_times(simulator.network)
-        reach = hash_power_reach_times(
-            arrival, population.hash_power, config.hash_power_target
+        evaluation = DEFAULT_EVALUATOR.evaluate(
+            simulator.engine,
+            simulator.network,
+            population.hash_power,
+            target_fractions=(config.hash_power_target,),
         )
-        finite = reach[np.isfinite(reach)]
         results[name] = BandwidthExperimentResult(
             protocol=name,
-            median_delay_ms=float(np.median(finite)) if finite.size else float("inf"),
+            median_delay_ms=evaluation.median_ms(config.hash_power_target),
             slow_node_outgoing_share=_slow_outgoing_share(
                 simulator.network, slow_nodes
             ),

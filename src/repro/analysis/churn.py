@@ -34,7 +34,7 @@ from repro.core.observations import (
 from repro.core.propagation import PropagationEngine
 from repro.datasets.bitnodes import NodePopulation, generate_population
 from repro.latency.geo import GeographicLatencyModel
-from repro.metrics.delay import hash_power_reach_times
+from repro.metrics.evaluator import DEFAULT_EVALUATOR
 from repro.protocols.perigee.subset import PerigeeSubsetProtocol
 
 
@@ -170,15 +170,17 @@ class _ChurnDriver:
     def evaluate(self) -> float:
         """Median delay (over online sources) to reach the target among online nodes."""
         online_ids = np.where(self.online)[0]
-        arrival = self.engine.all_sources_arrival_times(self.network)
-        arrival = arrival[np.ix_(online_ids, online_ids)]
-        weights = self.population.hash_power[online_ids]
-        weights = weights / weights.sum()
-        reach = hash_power_reach_times(
-            arrival, weights, self.config.hash_power_target
+        # The evaluator restricts sources *and* receivers to the online
+        # nodes and renormalises hash power over them — the same submatrix
+        # evaluation as before, without materialising all N sources at once.
+        evaluation = DEFAULT_EVALUATOR.evaluate(
+            self.engine,
+            self.network,
+            self.population.hash_power,
+            target_fractions=(self.config.hash_power_target,),
+            include=online_ids,
         )
-        finite = reach[np.isfinite(reach)]
-        return float(np.median(finite)) if finite.size else float("inf")
+        return evaluation.median_ms(self.config.hash_power_target)
 
 
 def _run_arm(

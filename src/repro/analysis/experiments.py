@@ -488,6 +488,8 @@ def scaling_specs(
     blocks_per_round: int = 50,
     sizes: tuple[int, ...] | None = None,
     protocols: tuple[str, ...] = ("random", "perigee-subset"),
+    latency_memory: str = "dense",
+    evaluation: dict | None = None,
 ) -> list[SweepSpec]:
     """Network-size scaling study over the ``large-network`` scenario.
 
@@ -498,12 +500,26 @@ def scaling_specs(
     ``submit`` + worker fleet) drains the whole ladder through the
     distributed queue — this is the grid that exercises the array-native
     observation pipeline's large-N headroom.
+
+    ``latency_memory="sparse"`` runs every rung on the on-demand latency
+    backend (O(N) memory — required past N ~ 20k), and ``evaluation``
+    carries :class:`~repro.metrics.evaluator.DelayEvaluator` parameters to
+    every task, e.g. ``{"mode": "sampled", "sample_size": 256}``; both are
+    part of the task descriptions, so cluster workers pick them up
+    automatically.
     """
+    if latency_memory not in ("dense", "sparse"):
+        raise ValueError("latency_memory must be 'dense' or 'sparse'")
     sizes = _scaling_ladder(num_nodes) if sizes is None else tuple(
         sorted(set(int(size) for size in sizes))
     )
     if not sizes:
         raise ValueError("sizes must be non-empty")
+    # Keep default-grid task hashes (and stored results) stable: only
+    # non-default choices enter the scenario / evaluation parameters.
+    scenario_params = (
+        {"latency_memory": latency_memory} if latency_memory != "dense" else {}
+    )
     specs = []
     for size in sizes:
         config = default_config(
@@ -520,6 +536,8 @@ def scaling_specs(
                 protocols=tuple(protocols),
                 repeats=repeats,
                 scenario="large-network",
+                scenario_params=scenario_params,
+                evaluation=dict(evaluation or {}),
             )
         )
     return specs
@@ -710,6 +728,8 @@ def run_scaling(
     blocks_per_round: int = 50,
     sizes: tuple[int, ...] | None = None,
     protocols: tuple[str, ...] = ("random", "perigee-subset"),
+    latency_memory: str = "dense",
+    evaluation: dict | None = None,
     workers: int = 1,
     store=None,
     progress: ProgressCallback | None = None,
@@ -717,7 +737,15 @@ def run_scaling(
 ) -> NetworkScalingResult:
     """Scaling study: Perigee vs random across network sizes (large-N grid)."""
     specs = scaling_specs(
-        num_nodes, rounds, repeats, seed, blocks_per_round, sizes, protocols
+        num_nodes,
+        rounds,
+        repeats,
+        seed,
+        blocks_per_round,
+        sizes,
+        protocols,
+        latency_memory,
+        evaluation,
     )
     results: dict[int, ExperimentResult] = {}
     resolved_store = _resolve_store(store)

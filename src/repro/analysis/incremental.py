@@ -24,7 +24,7 @@ from repro.core.observations import ObservationSet
 from repro.core.simulator import Simulator
 from repro.datasets.bitnodes import generate_population
 from repro.latency.geo import GeographicLatencyModel
-from repro.metrics.delay import hash_power_reach_times
+from repro.metrics.evaluator import DEFAULT_EVALUATOR
 from repro.protocols.base import ProtocolContext
 from repro.protocols.perigee.base import PerigeeBase
 from repro.protocols.perigee.subset import PerigeeSubsetProtocol
@@ -184,10 +184,12 @@ def run_incremental_deployment(
     population = generate_population(config, rng)
     latency = GeographicLatencyModel(population.nodes, rng)
 
-    def reach_times(simulator: Simulator) -> np.ndarray:
-        arrival = simulator.engine.all_sources_arrival_times(simulator.network)
-        return hash_power_reach_times(
-            arrival, population.hash_power, config.hash_power_target
+    def reach_evaluation(simulator: Simulator):
+        return DEFAULT_EVALUATOR.evaluate(
+            simulator.engine,
+            simulator.network,
+            population.hash_power,
+            target_fractions=(config.hash_power_target,),
         )
 
     # All-random baseline: nobody adopts.
@@ -200,7 +202,9 @@ def run_incremental_deployment(
         latency=latency,
         rng=np.random.default_rng(config.seed + 1),
     )
-    baseline_delay = _median(reach_times(baseline_simulator))
+    baseline_delay = reach_evaluation(baseline_simulator).median_ms(
+        config.hash_power_target
+    )
 
     results = []
     for fraction in adoption_fractions:
@@ -220,19 +224,20 @@ def run_incremental_deployment(
             rng=np.random.default_rng(config.seed + 3),
         )
         simulator.run(rounds=config.rounds)
-        reach = reach_times(simulator)
+        evaluation = reach_evaluation(simulator)
+        reach = evaluation.reach(config.hash_power_target)
+        # Per-class medians are taken over the *evaluated* sources (all
+        # nodes in exact mode, the miner-weighted sample at very large N),
+        # so the split works unchanged under both evaluation modes.
         adopter_ids = np.array(sorted(adopters), dtype=int)
-        non_adopter_ids = np.array(
-            [node for node in range(config.num_nodes) if node not in adopters],
-            dtype=int,
-        )
+        adopter_mask = np.isin(evaluation.source_ids, adopter_ids)
         results.append(
             IncrementalDeploymentResult(
                 adoption_fraction=fraction,
-                adopter_delay_ms=_median(reach[adopter_ids]),
+                adopter_delay_ms=_median(reach[adopter_mask]),
                 non_adopter_delay_ms=(
-                    _median(reach[non_adopter_ids])
-                    if non_adopter_ids.size
+                    _median(reach[~adopter_mask])
+                    if np.any(~adopter_mask)
                     else float("nan")
                 ),
                 overall_delay_ms=_median(reach),

@@ -19,7 +19,7 @@ from repro.config import default_config
 from repro.core.simulator import Simulator
 from repro.datasets.bitnodes import generate_population
 from repro.latency.geo import GeographicLatencyModel
-from repro.metrics.delay import hash_power_reach_times
+from repro.metrics.evaluator import DEFAULT_EVALUATOR, DelayEvaluator
 from repro.protocols.registry import make_protocol
 
 
@@ -39,11 +39,15 @@ class ScalingPoint:
         return 1.0 - self.perigee_median_ms / self.random_median_ms
 
 
-def _median_reach(simulator: Simulator, hash_power: np.ndarray) -> float:
-    arrival = simulator.engine.all_sources_arrival_times(simulator.network)
-    reach = hash_power_reach_times(arrival, hash_power, 0.9)
-    finite = reach[np.isfinite(reach)]
-    return float(np.median(finite)) if finite.size else float("inf")
+def _median_reach(
+    simulator: Simulator,
+    hash_power: np.ndarray,
+    evaluator: DelayEvaluator = DEFAULT_EVALUATOR,
+) -> float:
+    evaluation = evaluator.evaluate(
+        simulator.engine, simulator.network, hash_power, target_fractions=(0.9,)
+    )
+    return evaluation.median_ms(0.9)
 
 
 def measure_point(

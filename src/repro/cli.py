@@ -141,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="independent latency draws (ignored by figure5)",
     )
+    _add_large_n_arguments(submit_parser)
 
     worker_parser = subparsers.add_parser(
         "worker", help="drain queued tasks from a shared store directory"
@@ -234,7 +235,77 @@ def build_parser() -> argparse.ArgumentParser:
                 default=1,
                 help="independent latency draws to average over",
             )
+        if name == "scaling":
+            _add_large_n_arguments(experiment_parser)
     return parser
+
+
+def _add_large_n_arguments(parser: argparse.ArgumentParser) -> None:
+    """Large-N knobs (scaling ladder / submit): backend + delay evaluation."""
+    parser.add_argument(
+        "--latency-memory",
+        choices=("dense", "sparse"),
+        default="dense",
+        help=(
+            "geographic latency backend: 'dense' precomputes the N x N "
+            "matrix (bit-for-bit default), 'sparse' recomputes pairs on "
+            "demand in O(N) memory — required past N ~ 20k"
+        ),
+    )
+    parser.add_argument(
+        "--eval-mode",
+        choices=("auto", "exact", "sampled"),
+        default=None,
+        help=(
+            "delay evaluation: 'exact' chunked all-sources Dijkstra, "
+            "'sampled' hash-power-weighted source sampling with reported "
+            "standard error, 'auto' (default) switches at the threshold"
+        ),
+    )
+    parser.add_argument(
+        "--eval-threshold",
+        type=int,
+        default=None,
+        help="auto-mode switch point in number of sources (default 4096)",
+    )
+    parser.add_argument(
+        "--eval-samples",
+        type=int,
+        default=None,
+        help="sources drawn in sampled mode (default 512)",
+    )
+
+
+def _evaluation_params(args: argparse.Namespace) -> dict:
+    """Collect non-default --eval-* flags into DelayEvaluator parameters."""
+    params = {}
+    if getattr(args, "eval_mode", None) is not None:
+        params["mode"] = args.eval_mode
+    if getattr(args, "eval_threshold", None) is not None:
+        params["exact_threshold"] = args.eval_threshold
+    if getattr(args, "eval_samples", None) is not None:
+        params["sample_size"] = args.eval_samples
+    return params
+
+
+def _reject_unsupported_large_n_flags(
+    parser: argparse.ArgumentParser, args: argparse.Namespace, experiment: str
+) -> None:
+    """Fail loudly when large-N flags would be silently dropped.
+
+    Only the ``scaling`` grid threads them through today; accepting them on
+    another experiment and queueing dense/exact tasks anyway would hand a
+    worker fleet the exact memory wall the flags exist to avoid.
+    """
+    if experiment == "scaling":
+        return
+    if getattr(args, "latency_memory", "dense") != "dense" or _evaluation_params(
+        args
+    ):
+        parser.error(
+            "--latency-memory/--eval-* are only supported by the 'scaling' "
+            f"experiment; {experiment!r} would ignore them"
+        )
 
 
 def _progress_printer(done: int, total: int, record) -> None:
@@ -280,6 +351,11 @@ def _spec_kwargs(args: argparse.Namespace) -> dict:
     }
     if args.experiment != "figure5":  # figure5 is a single-repeat experiment
         kwargs["repeats"] = args.repeats
+    if args.experiment == "scaling":
+        kwargs["latency_memory"] = getattr(args, "latency_memory", "dense")
+        evaluation = _evaluation_params(args)
+        if evaluation:
+            kwargs["evaluation"] = evaluation
     return kwargs
 
 
@@ -394,6 +470,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
         return _run_resume(args)
     if args.command == "submit":
+        # Direct experiment subcommands only define the large-N flags where
+        # they are supported; submit defines them for all experiments, so
+        # guard against silently dropping them here.
+        _reject_unsupported_large_n_flags(parser, args, args.experiment)
         return _run_submit(args)
     if args.command == "compact":
         return _run_compact(args)
@@ -418,6 +498,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     }
     if getattr(args, "repeats", None) is not None:
         kwargs["repeats"] = args.repeats
+    if args.command == "scaling":
+        kwargs["latency_memory"] = getattr(args, "latency_memory", "dense")
+        evaluation = _evaluation_params(args)
+        if evaluation:
+            kwargs["evaluation"] = evaluation
     if args.workers > 1 or args.store is not None:
         kwargs["progress"] = _progress_printer
     result = run_experiment(args.command, **kwargs)

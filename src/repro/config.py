@@ -60,7 +60,9 @@ class SimulationConfig:
         or ``"concentrated"`` (10% of nodes hold 90% of the power).
     latency_model:
         Name of the latency model: ``"geographic"`` (iPlane-like region
-        matrix) or ``"metric"`` (hypercube embedding).
+        matrix, dense N x N backend), ``"geographic-sparse"`` (same model,
+        on-demand pair computation in O(N) memory — the large-N backend) or
+        ``"metric"`` (hypercube embedding).
     metric_dimension:
         Dimension of the hypercube when ``latency_model == "metric"``.
     hash_power_target:
@@ -132,7 +134,7 @@ class SimulationConfig:
             raise ConfigurationError(
                 f"unknown hash power distribution: {self.hash_power_distribution!r}"
             )
-        if self.latency_model not in ("geographic", "metric"):
+        if self.latency_model not in ("geographic", "geographic-sparse", "metric"):
             raise ConfigurationError(
                 f"unknown latency model: {self.latency_model!r}"
             )

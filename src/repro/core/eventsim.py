@@ -111,7 +111,7 @@ class EventDrivenEngine:
             )
         if np.any(validation < 0):
             raise ValueError("validation delays must be non-negative")
-        self._latency = latency.as_matrix()
+        self._latency = latency.matrix_view()
         self._validation = validation
         self._num_nodes = latency.num_nodes
         self._config = config or EventSimConfig()

@@ -92,8 +92,11 @@ class PropagationEngine:
             )
         if np.any(validation < 0):
             raise ValueError("validation delays must be non-negative")
+        # The engine consumes the latency model exclusively through per-edge
+        # ``pairwise`` gathers (E values per round), so on-demand backends
+        # never materialise — and dense backends never copy — an N x N
+        # matrix on its account.
         self._latency = latency
-        self._latency_matrix = latency.as_matrix()
         self._validation = validation
         self._num_nodes = latency.num_nodes
 
@@ -126,7 +129,7 @@ class PropagationEngine:
             return csr_matrix((n, n), dtype=float)
         u = edges[:, 0]
         v = edges[:, 1]
-        delta = self._latency_matrix[u, v]
+        delta = self._latency.pairwise(u, v)
         rows = np.concatenate([u, v])
         cols = np.concatenate([v, u])
         weights = np.concatenate(
@@ -214,7 +217,7 @@ class PropagationEngine:
         sources = result.sources  # (B,)
         u = edges[:, 0]
         v = edges[:, 1]
-        delta = self._latency_matrix[u, v]  # (E,)
+        delta = self._latency.pairwise(u, v)  # (E,)
         # Work in (E, B) layout throughout: fancy-indexing the transposed
         # arrival matrix yields one contiguous per-edge row per directed
         # edge.
@@ -285,21 +288,62 @@ class PropagationEngine:
     ) -> float:
         validation = 0.0 if sender == source else float(self._validation[sender])
         return float(
-            arrival[sender] + validation + self._latency_matrix[sender, receiver]
+            arrival[sender]
+            + validation
+            + self._latency.latency(sender, receiver)
         )
 
     # ------------------------------------------------------------------ #
-    # All-pairs helper used by metrics
+    # All-pairs / batched helpers used by metrics and the delay evaluator
     # ------------------------------------------------------------------ #
+    def weight_graph(self, network: P2PNetwork) -> csr_matrix:
+        """Directed CSR weight graph for ``network`` (``Δ_u + δ(u, v)``).
+
+        Public wrapper so batched consumers (the delay evaluator, security
+        analyses) can build the graph once and reuse it across many Dijkstra
+        passes.
+        """
+        if network.num_nodes != self._num_nodes:
+            raise ValueError("network size must match the latency model")
+        return self._directed_weight_graph(network)
+
+    def arrival_times_from(
+        self,
+        network: P2PNetwork,
+        sources: np.ndarray | list[int],
+        graph: csr_matrix | None = None,
+    ) -> np.ndarray:
+        """Arrival-time rows for the given block sources, shape ``(S, N)``.
+
+        ``out[i, v]`` is the time for a block mined by ``sources[i]`` to
+        reach ``v``.  Passing a precomputed ``graph`` (from
+        :meth:`weight_graph`) skips rebuilding the CSR structure, which is
+        what makes chunked evaluation over many source batches cheap.
+        """
+        sources = np.asarray(sources, dtype=int)
+        if sources.ndim != 1:
+            raise ValueError("sources must be a 1-D array of node ids")
+        if sources.size == 0:
+            return np.zeros((0, self._num_nodes), dtype=float)
+        if np.any(sources < 0) or np.any(sources >= self._num_nodes):
+            raise ValueError("source ids out of range")
+        if graph is None:
+            graph = self.weight_graph(network)
+        distances = dijkstra(graph, directed=True, indices=sources)
+        distances = np.atleast_2d(distances)
+        distances = distances - self._validation[sources][:, None]
+        distances[np.arange(sources.size), sources] = 0.0
+        return distances
+
     def all_sources_arrival_times(self, network: P2PNetwork) -> np.ndarray:
         """Arrival-time matrix with every node as a block source.
 
         ``out[s, v]`` is the time for a block mined by ``s`` to reach ``v``.
         Used by the delay metrics of Section 2.2, which evaluate every node as
-        a potential miner.
+        a potential miner.  This materialises the full ``N x N`` matrix; at
+        large N prefer :class:`repro.metrics.evaluator.DelayEvaluator`,
+        which chunks or samples the sources instead.
         """
-        graph = self._directed_weight_graph(network)
-        distances = dijkstra(graph, directed=True)
-        distances = distances - self._validation[:, None]
-        np.fill_diagonal(distances, 0.0)
-        return distances
+        return self.arrival_times_from(
+            network, np.arange(self._num_nodes, dtype=int)
+        )

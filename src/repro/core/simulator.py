@@ -30,7 +30,7 @@ from repro.datasets.bitnodes import NodePopulation, generate_population
 from repro.latency.base import LatencyModel
 from repro.latency.geo import GeographicLatencyModel
 from repro.latency.metric_space import MetricSpaceLatencyModel
-from repro.metrics.delay import hash_power_reach_times
+from repro.metrics.evaluator import DEFAULT_EVALUATOR, DelayEvaluator
 from repro.protocols.base import NeighborSelectionProtocol, ProtocolContext
 
 
@@ -100,6 +100,10 @@ class Simulator:
         ``config.latency_model == "metric"``).
     rng:
         Optional random generator; seeded from ``config.seed`` when omitted.
+    delay_evaluator:
+        Optional :class:`~repro.metrics.evaluator.DelayEvaluator` policy for
+        :meth:`evaluate`.  The default is exact (chunked) at paper scale and
+        switches to hash-power-weighted source sampling at large N.
     """
 
     def __init__(
@@ -109,9 +113,13 @@ class Simulator:
         population: NodePopulation | None = None,
         latency: LatencyModel | None = None,
         rng: np.random.Generator | None = None,
+        delay_evaluator: DelayEvaluator | None = None,
     ) -> None:
         self._config = config
         self._protocol = protocol
+        self._evaluator = (
+            delay_evaluator if delay_evaluator is not None else DEFAULT_EVALUATOR
+        )
         self._rng = rng if rng is not None else np.random.default_rng(config.seed)
         self._population = (
             population
@@ -173,6 +181,10 @@ class Simulator:
     def context(self) -> ProtocolContext:
         return self._context
 
+    @property
+    def delay_evaluator(self) -> DelayEvaluator:
+        return self._evaluator
+
     # ------------------------------------------------------------------ #
     # Simulation steps
     # ------------------------------------------------------------------ #
@@ -183,7 +195,14 @@ class Simulator:
                 dimension=self._config.metric_dimension,
                 rng=self._rng,
             )
-        return GeographicLatencyModel(self._population.nodes, self._rng)
+        memory = (
+            "sparse"
+            if self._config.latency_model == "geographic-sparse"
+            else "dense"
+        )
+        return GeographicLatencyModel(
+            self._population.nodes, self._rng, memory=memory
+        )
 
     def mine_blocks(self, count: int | None = None) -> list[Block]:
         """Draw miners proportionally to hash power and mint blocks."""
@@ -229,10 +248,18 @@ class Simulator:
         return ObservationMap(round_observations)
 
     def evaluate(self) -> np.ndarray:
-        """Per-source time to reach the configured hash power target (ms)."""
-        arrival = self._engine.all_sources_arrival_times(self._network)
-        return hash_power_reach_times(
-            arrival, self._hash_power, self._config.hash_power_target
+        """Per-source time to reach the configured hash power target (ms).
+
+        Routed through the simulator's :class:`DelayEvaluator`: exact
+        (chunked, bit-identical to the all-pairs path) at small N, sampled
+        sources past the evaluator's threshold — in which case the array
+        covers the sampled sources only.
+        """
+        return self._evaluator.reach_times(
+            self._engine,
+            self._network,
+            self._hash_power,
+            self._config.hash_power_target,
         )
 
     def run_round(self, round_index: int, evaluate: bool = False) -> RoundResult:

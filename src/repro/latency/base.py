@@ -2,9 +2,23 @@
 
 A latency model answers one question: what is the constant one-way latency
 ``δ(u, v)`` (in milliseconds) of sending a block between nodes ``u`` and ``v``
-if they are directly connected?  All models precompute (or lazily materialise)
-a dense symmetric matrix since the populations studied are of moderate size
-(about a thousand nodes).
+if they are directly connected?
+
+Two access patterns exist:
+
+* the **pairwise gather** :meth:`LatencyModel.pairwise` — vectorised
+  ``δ(u_i, v_i)`` for arrays of node pairs.  This is the contract the
+  propagation engine consumes: a round over an overlay with ``E`` edges only
+  ever needs ``E`` latency values, so models are free to compute pairs on
+  demand instead of storing ``N x N`` floats (see the ``memory="sparse"``
+  backend of :class:`repro.latency.geo.GeographicLatencyModel`);
+* the **dense matrix** :meth:`LatencyModel.as_matrix` /
+  :meth:`LatencyModel.matrix_view` — for analyses that genuinely need all
+  pairs at once (theory validations, relay overlays).  ``as_matrix`` returns
+  a private copy the caller may mutate; ``matrix_view`` returns a read-only
+  array that may share storage with the model and must not be written to.
+  On-demand backends materialise the matrix on either call, so neither
+  belongs on an ``N ~ 20k`` hot path.
 """
 
 from __future__ import annotations
@@ -28,7 +42,47 @@ class LatencyModel(abc.ABC):
 
     @abc.abstractmethod
     def as_matrix(self) -> np.ndarray:
-        """Dense symmetric latency matrix with a zero diagonal."""
+        """Dense symmetric latency matrix with a zero diagonal (a copy)."""
+
+    def matrix_view(self) -> np.ndarray:
+        """Read-only dense latency matrix, sharing storage when possible.
+
+        Matrix-backed models override this to return their internal array
+        without copying.  The base implementation has no storage to share:
+        *every call* materialises :meth:`as_matrix` afresh (O(N^2) work and
+        memory on on-demand backends), so hold on to the result instead of
+        calling this in a loop.  Callers must treat the result as immutable
+        (``writeable`` is False).
+        """
+        matrix = self.as_matrix()
+        matrix.setflags(write=False)
+        return matrix
+
+    def pairwise(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Vectorised gather ``δ(u_i, v_i)`` for parallel id arrays.
+
+        Parameters
+        ----------
+        u, v:
+            Integer arrays (or sequences) of equal length; broadcasting is
+            not applied.  Returns a float array of the same length.
+
+        The default implementation loops over :meth:`latency`; matrix-backed
+        models override it with a fancy-indexed gather and on-demand models
+        with a direct recomputation, so the engine's per-edge gathers never
+        require the dense matrix.
+        """
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if u.shape != v.shape:
+            raise ValueError("u and v must have the same shape")
+        if u.ndim != 1:
+            raise ValueError("u and v must be 1-D arrays")
+        return np.fromiter(
+            (self.latency(int(a), int(b)) for a, b in zip(u, v)),
+            dtype=float,
+            count=u.size,
+        )
 
     def validate(self) -> None:
         """Check basic invariants of the produced matrix.
@@ -36,7 +90,7 @@ class LatencyModel(abc.ABC):
         Raises ``ValueError`` when the matrix is not square, not symmetric,
         has a non-zero diagonal or contains negative entries.
         """
-        matrix = self.as_matrix()
+        matrix = self.matrix_view()
         if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
             raise ValueError("latency matrix must be square")
         if matrix.shape[0] != self.num_nodes:
@@ -66,6 +120,7 @@ class MatrixLatencyModel(LatencyModel):
         # shortest-path computations never see tiny negative asymmetries.
         np.fill_diagonal(self._matrix, 0.0)
         self._matrix = (self._matrix + self._matrix.T) / 2.0
+        self._matrix.setflags(write=False)
         self.validate()
 
     @property
@@ -77,6 +132,14 @@ class MatrixLatencyModel(LatencyModel):
 
     def as_matrix(self) -> np.ndarray:
         return self._matrix.copy()
+
+    def matrix_view(self) -> np.ndarray:
+        return self._matrix
+
+    def pairwise(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        return self._matrix[u, v]
 
     @classmethod
     def constant(cls, num_nodes: int, latency_ms: float) -> "MatrixLatencyModel":

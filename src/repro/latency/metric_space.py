@@ -74,6 +74,7 @@ class MetricSpaceLatencyModel(LatencyModel):
             self._matrix = np.zeros((1, 1), dtype=float)
         else:
             self._matrix = squareform(pdist(positions)) * self._scale_ms
+        self._matrix.setflags(write=False)
         self.validate()
 
     @property
@@ -104,6 +105,14 @@ class MetricSpaceLatencyModel(LatencyModel):
 
     def as_matrix(self) -> np.ndarray:
         return self._matrix.copy()
+
+    def matrix_view(self) -> np.ndarray:
+        return self._matrix
+
+    def pairwise(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        return self._matrix[u, v]
 
     def geometric_threshold(self, constant: float = 2.0) -> float:
         """The connectivity threshold ``r = Θ((log n / n)^{1/d})`` of Theorem 2.

@@ -8,6 +8,9 @@
   clustering by region).
 * :mod:`repro.metrics.convergence` — per-round trajectories used to study how
   quickly adaptive protocols converge.
+* :mod:`repro.metrics.evaluator` — the scalable front-end for the delay
+  metric: exact chunked multi-source Dijkstra at paper scale, hash-power-
+  weighted sampled sources (with reported standard error) at large N.
 """
 
 from repro.metrics.convergence import ConvergenceReport, convergence_report
@@ -23,6 +26,12 @@ from repro.metrics.delay import (
     hash_power_reach_times,
     improvement_over_baseline,
     reach_time_for_source,
+    reach_times_for_sources,
+)
+from repro.metrics.evaluator import (
+    DEFAULT_EVALUATOR,
+    DelayEvaluation,
+    DelayEvaluator,
 )
 from repro.metrics.topology import (
     EdgeLatencyHistogram,
@@ -34,7 +43,10 @@ from repro.metrics.topology import (
 
 __all__ = [
     "ConvergenceReport",
+    "DEFAULT_EVALUATOR",
     "DelayCurve",
+    "DelayEvaluation",
+    "DelayEvaluator",
     "EdgeLatencyHistogram",
     "ForkRateEstimate",
     "convergence_report",
@@ -48,5 +60,6 @@ __all__ = [
     "improvement_over_baseline",
     "intra_continental_fraction",
     "reach_time_for_source",
+    "reach_times_for_sources",
     "topology_summary",
 ]

@@ -72,13 +72,34 @@ def hash_power_reach_times(
         Fraction of total hash power that must be reached.
     """
     arrival = np.asarray(all_pairs_arrival, dtype=float)
-    hash_power = np.asarray(hash_power, dtype=float)
     if arrival.ndim != 2 or arrival.shape[0] != arrival.shape[1]:
         raise ValueError("all_pairs_arrival must be a square matrix")
-    if arrival.shape[0] != hash_power.shape[0]:
-        raise ValueError("hash_power length must match the arrival matrix")
+    return reach_times_for_sources(arrival, hash_power, target_fraction)
+
+
+def reach_times_for_sources(
+    arrival: np.ndarray,
+    hash_power: np.ndarray,
+    target_fraction: float = 0.9,
+) -> np.ndarray:
+    """``λ`` for an arbitrary batch of block sources.
+
+    The rectangular core behind :func:`hash_power_reach_times`: ``arrival``
+    is ``(S, N)`` — one row per evaluated source, columns covering the whole
+    receiver population — so chunked and sampled evaluations can process a
+    handful of sources at a time without ever holding the ``N x N`` matrix.
+    Row-wise results are identical to the square all-pairs path.
+    """
+    arrival = np.asarray(arrival, dtype=float)
+    hash_power = np.asarray(hash_power, dtype=float)
+    if arrival.ndim != 2:
+        raise ValueError("arrival must be a 2-D (sources, nodes) matrix")
+    if arrival.shape[1] != hash_power.shape[0]:
+        raise ValueError("hash_power length must match the arrival columns")
     if not 0.0 < target_fraction <= 1.0:
         raise ValueError("target_fraction must be in (0, 1]")
+    if arrival.shape[0] == 0:
+        return np.zeros(0, dtype=float)
     order = np.argsort(arrival, axis=1, kind="stable")
     sorted_times = np.take_along_axis(arrival, order, axis=1)
     sorted_power = hash_power[order]

@@ -27,8 +27,7 @@ def edge_latency_values(
     edges = network.to_numpy_edges()
     if edges.shape[0] == 0:
         return np.zeros(0, dtype=float)
-    matrix = latency.as_matrix()
-    return matrix[edges[:, 0], edges[:, 1]]
+    return latency.pairwise(edges[:, 0], edges[:, 1])
 
 
 @dataclass(frozen=True)

@@ -65,7 +65,7 @@ class GeometricProtocol(NeighborSelectionProtocol):
         network: P2PNetwork,
         rng: np.random.Generator,
     ) -> None:
-        matrix = context.latency.as_matrix()
+        matrix = context.latency.matrix_view()
         order = rng.permutation(network.num_nodes)
         if self._mode == "nearest":
             self._build_nearest(network, matrix, order)

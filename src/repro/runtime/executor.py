@@ -22,7 +22,7 @@ from typing import Callable, Protocol, Sequence
 import numpy as np
 
 from repro.core.simulator import Simulator
-from repro.metrics.delay import hash_power_reach_times
+from repro.metrics.evaluator import DelayEvaluator
 from repro.metrics.topology import edge_latency_histogram
 from repro.protocols.registry import make_protocol
 from repro.runtime.scenarios import Scenario, get_scenario
@@ -70,21 +70,28 @@ def run_task(task: Task, scenario: Scenario | None = None) -> TaskRecord:
         population = resolved.build_population(config, params, env_rng)
         latency = resolved.build_latency(config, population, params, env_rng)
         protocol = make_protocol(task.protocol)
+        evaluator = DelayEvaluator.from_params(task.evaluation_params)
         simulator = Simulator(
             config=config,
             protocol=protocol,
             population=population,
             latency=latency,
             rng=np.random.default_rng(task.protocol_seed()),
+            delay_evaluator=evaluator,
         )
         if protocol.is_adaptive:
             for round_index in range(task.rounds):
                 simulator.run_round(round_index)
-        arrival = simulator.engine.all_sources_arrival_times(simulator.network)
-        reach90 = hash_power_reach_times(
-            arrival, population.hash_power, config.hash_power_target
+        # One evaluation pass covers both targets: the chunked (or sampled)
+        # Dijkstra passes are shared, only the reach computation differs.
+        evaluation = evaluator.evaluate(
+            simulator.engine,
+            simulator.network,
+            population.hash_power,
+            target_fractions=(config.hash_power_target, 0.5),
         )
-        reach50 = hash_power_reach_times(arrival, population.hash_power, 0.5)
+        reach90 = evaluation.reach(config.hash_power_target)
+        reach50 = evaluation.reach(0.5)
         histogram = None
         if task.collect_histogram:
             histogram = _histogram_payload(
@@ -98,6 +105,7 @@ def run_task(task: Task, scenario: Scenario | None = None) -> TaskRecord:
             reach90=[float(x) for x in reach90],
             reach50=[float(x) for x in reach50],
             histogram=histogram,
+            evaluation=evaluation.to_metadata() if evaluation.sampled else None,
         )
     except Exception as error:  # noqa: BLE001 - failure isolation by design
         return TaskRecord(

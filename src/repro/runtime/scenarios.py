@@ -72,13 +72,29 @@ def _default_population(
     return generate_population(config, rng)
 
 
+def _latency_memory(config: SimulationConfig, params: Mapping[str, Any]) -> str:
+    """Resolve the geographic backend: scenario param, then config.
+
+    ``params["latency_memory"]`` ("dense"/"sparse") wins; otherwise the
+    configuration's ``latency_model == "geographic-sparse"`` selects the
+    on-demand backend.  The default stays dense — bit-for-bit identical to
+    every stored result.
+    """
+    memory = params.get("latency_memory")
+    if memory is not None:
+        return str(memory)
+    return "sparse" if config.latency_model == "geographic-sparse" else "dense"
+
+
 def _default_latency(
     config: SimulationConfig,
     population: NodePopulation,
     params: Mapping[str, Any],
     rng: np.random.Generator,
 ) -> LatencyModel:
-    return GeographicLatencyModel(population.nodes, rng)
+    return GeographicLatencyModel(
+        population.nodes, rng, memory=_latency_memory(config, params)
+    )
 
 
 def _miner_speedup_latency(

@@ -86,6 +86,12 @@ class Task:
     collect_histogram:
         Whether to also compute the Figure 5 edge-latency histogram of the
         final topology.
+    evaluation_json:
+        Canonical JSON of the delay-evaluation parameters (see
+        :class:`repro.metrics.evaluator.DelayEvaluator.from_params`).  The
+        default (``"{}"``) means the default evaluation policy; only
+        non-default parameters enter the content hash, so pre-existing task
+        hashes — and therefore stored results — remain valid.
     """
 
     experiment: str
@@ -96,6 +102,7 @@ class Task:
     scenario: str = "default"
     params_json: str = "{}"
     collect_histogram: bool = False
+    evaluation_json: str = "{}"
 
     @property
     def config(self) -> SimulationConfig:
@@ -105,21 +112,27 @@ class Task:
     def scenario_params(self) -> dict[str, Any]:
         return json.loads(self.params_json)
 
+    @property
+    def evaluation_params(self) -> dict[str, Any]:
+        return json.loads(self.evaluation_json)
+
     def content_hash(self) -> str:
         """SHA-256 content address over every field of the task."""
-        payload = canonical_json(
-            {
-                "schema": SCHEMA_VERSION,
-                "experiment": self.experiment,
-                "protocol": self.protocol,
-                "repeat": self.repeat,
-                "rounds": self.rounds,
-                "config": json.loads(self.config_json),
-                "scenario": self.scenario,
-                "params": json.loads(self.params_json),
-                "collect_histogram": self.collect_histogram,
-            }
-        )
+        payload_dict = {
+            "schema": SCHEMA_VERSION,
+            "experiment": self.experiment,
+            "protocol": self.protocol,
+            "repeat": self.repeat,
+            "rounds": self.rounds,
+            "config": json.loads(self.config_json),
+            "scenario": self.scenario,
+            "params": json.loads(self.params_json),
+            "collect_histogram": self.collect_histogram,
+        }
+        evaluation = json.loads(self.evaluation_json)
+        if evaluation:
+            payload_dict["evaluation"] = evaluation
+        payload = canonical_json(payload_dict)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def environment_seed(self) -> np.random.SeedSequence:
@@ -151,6 +164,7 @@ class Task:
             "scenario": self.scenario,
             "params": json.loads(self.params_json),
             "collect_histogram": self.collect_histogram,
+            "evaluation": json.loads(self.evaluation_json),
         }
 
     @classmethod
@@ -164,6 +178,7 @@ class Task:
             scenario=data.get("scenario", "default"),
             params_json=canonical_json(data.get("params", {})),
             collect_histogram=bool(data.get("collect_histogram", False)),
+            evaluation_json=canonical_json(data.get("evaluation", {})),
         )
 
 
@@ -186,6 +201,7 @@ class TaskRecord:
     reach90: list[float] = field(default_factory=list)
     reach50: list[float] = field(default_factory=list)
     histogram: dict[str, Any] | None = None
+    evaluation: dict[str, Any] | None = None
     cached: bool = False
 
     @property
@@ -206,6 +222,7 @@ class TaskRecord:
             "reach90": self.reach90,
             "reach50": self.reach50,
             "histogram": self.histogram,
+            "evaluation": self.evaluation,
         }
 
     @classmethod
@@ -219,6 +236,7 @@ class TaskRecord:
             reach90=[float(x) for x in data.get("reach90", [])],
             reach50=[float(x) for x in data.get("reach50", [])],
             histogram=data.get("histogram"),
+            evaluation=data.get("evaluation"),
         )
 
 
@@ -246,6 +264,10 @@ class SweepSpec:
         JSON-serialisable parameters forwarded to the scenario builders.
     collect_histograms:
         Compute Figure 5 edge-latency histograms on the first repeat.
+    evaluation:
+        Delay-evaluation parameters forwarded to every task (see
+        :class:`repro.metrics.evaluator.DelayEvaluator.from_params`); empty
+        means the default policy and leaves task hashes untouched.
     """
 
     name: str
@@ -256,6 +278,7 @@ class SweepSpec:
     scenario: str = "default"
     scenario_params: Mapping[str, Any] = field(default_factory=dict)
     collect_histograms: bool = False
+    evaluation: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.protocols:
@@ -280,6 +303,7 @@ class SweepSpec:
     def __iter__(self) -> Iterator[Task]:
         config_json = canonical_json(self.config.to_dict())
         params_json = canonical_json(dict(self.scenario_params))
+        evaluation_json = canonical_json(dict(self.evaluation))
         for repeat in range(self.repeats):
             for protocol in self.protocols:
                 yield Task(
@@ -291,6 +315,7 @@ class SweepSpec:
                     scenario=self.scenario,
                     params_json=params_json,
                     collect_histogram=self.collect_histograms and repeat == 0,
+                    evaluation_json=evaluation_json,
                 )
 
     def to_dict(self) -> dict[str, Any]:
@@ -304,6 +329,7 @@ class SweepSpec:
             "scenario": self.scenario,
             "scenario_params": dict(self.scenario_params),
             "collect_histograms": self.collect_histograms,
+            "evaluation": dict(self.evaluation),
         }
 
     @classmethod
@@ -317,4 +343,5 @@ class SweepSpec:
             scenario=data.get("scenario", "default"),
             scenario_params=dict(data.get("scenario_params", {})),
             collect_histograms=bool(data.get("collect_histograms", False)),
+            evaluation=dict(data.get("evaluation", {})),
         )

@@ -20,16 +20,15 @@ from dataclasses import dataclass
 
 import numpy as np
 from scipy.sparse import csr_matrix
-from scipy.sparse.csgraph import dijkstra
 
 from repro.config import SimulationConfig, default_config
 from repro.core.network import P2PNetwork
 from repro.core.observations import NEVER, ObservationMap, ObservationSet
+from repro.core.propagation import PropagationEngine
 from repro.core.simulator import Simulator
 from repro.datasets.bitnodes import NodePopulation, generate_population
 from repro.latency.base import LatencyModel
 from repro.latency.geo import GeographicLatencyModel
-from repro.metrics.delay import hash_power_reach_times
 from repro.protocols.base import NeighborSelectionProtocol
 from repro.protocols.perigee.subset import PerigeeSubsetProtocol
 from repro.protocols.random_policy import RandomProtocol
@@ -50,30 +49,51 @@ def arrival_times_with_free_riders(
     announces it).  Returns an ``(num_blocks, num_nodes)`` arrival matrix.
     """
     sources = np.asarray(sources, dtype=int)
-    riders = {int(node) for node in free_riders}
+    riders = np.array(sorted({int(node) for node in free_riders}), dtype=np.int64)
     n = latency.num_nodes
     validation = np.asarray(validation_delays_ms, dtype=float)
-    matrix = latency.as_matrix()
+    engine = PropagationEngine(latency, validation)
     edges = network.to_numpy_edges()
     arrivals = np.full((sources.size, n), np.inf, dtype=float)
+    if edges.shape[0] == 0:
+        arrivals[np.arange(sources.size), sources] = 0.0
+        return arrivals
+    # One per-edge latency gather for the whole call (never the N x N
+    # matrix), and one shared honest-edge graph reused across every source:
+    # only sources that free-ride need a per-source graph, because a miner
+    # announces its own block even when it otherwise never relays.  The
+    # Dijkstra pass itself (and the miner-validation correction) is the
+    # engine's, via ``arrival_times_from(graph=...)`` — only the edge
+    # censoring is local.
+    u = edges[:, 0].astype(np.int64)
+    v = edges[:, 1].astype(np.int64)
+    delta = latency.pairwise(u, v)
+    rows = np.concatenate([u, v])
+    cols = np.concatenate([v, u])
+    data = np.concatenate([validation[u] + delta, validation[v] + delta])
+    honest = ~np.isin(rows, riders)
+    base_graph = csr_matrix(
+        (data[honest], (rows[honest], cols[honest])), shape=(n, n)
+    )
+
+    unique_sources = np.unique(sources)
+    rider_sources = unique_sources[np.isin(unique_sources, riders)]
+    honest_sources = unique_sources[~np.isin(unique_sources, riders)]
+    by_source: dict[int, np.ndarray] = {}
+    if honest_sources.size:
+        batch = engine.arrival_times_from(
+            network, honest_sources, graph=base_graph
+        )
+        for row, source in zip(batch, honest_sources):
+            by_source[int(source)] = row
+    for source in rider_sources:
+        keep = honest | (rows == source)
+        graph = csr_matrix((data[keep], (rows[keep], cols[keep])), shape=(n, n))
+        by_source[int(source)] = engine.arrival_times_from(
+            network, np.array([source]), graph=graph
+        )[0]
     for index, source in enumerate(sources):
-        rows, cols, data = [], [], []
-        for u, v in edges:
-            u, v = int(u), int(v)
-            delta = matrix[u, v]
-            if u not in riders or u == source:
-                rows.append(u)
-                cols.append(v)
-                data.append(validation[u] + delta)
-            if v not in riders or v == source:
-                rows.append(v)
-                cols.append(u)
-                data.append(validation[v] + delta)
-        graph = csr_matrix((data, (rows, cols)), shape=(n, n))
-        distances = dijkstra(graph, directed=True, indices=[int(source)])[0]
-        distances = distances - validation[int(source)]
-        distances[int(source)] = 0.0
-        arrivals[index] = distances
+        arrivals[index] = by_source[int(source)]
     return arrivals
 
 

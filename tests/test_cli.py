@@ -62,6 +62,55 @@ class TestParser:
         args = parser.parse_args(["status", "--store", "runs/"])
         assert args.command == "status"
 
+    def test_parser_has_large_n_flags_on_scaling(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "scaling",
+                "--latency-memory", "sparse",
+                "--eval-mode", "sampled",
+                "--eval-samples", "128",
+                "--eval-threshold", "2048",
+            ]
+        )
+        assert args.latency_memory == "sparse"
+        assert args.eval_mode == "sampled"
+        assert args.eval_samples == 128
+        assert args.eval_threshold == 2048
+        # submit forwards the same knobs into the queued task descriptions.
+        args = parser.parse_args(
+            ["submit", "scaling", "--store", "runs/", "--latency-memory", "sparse"]
+        )
+        assert args.latency_memory == "sparse"
+
+    def test_submit_rejects_large_n_flags_on_other_experiments(self, capsys):
+        # figure3a would silently drop them — the CLI must refuse instead.
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "submit", "figure3a", "--store", "runs/",
+                    "--latency-memory", "sparse",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "scaling" in capsys.readouterr().err
+
+    def test_large_n_flags_reach_scaling_specs(self):
+        from repro.analysis.experiments import build_experiment_specs
+
+        specs = build_experiment_specs(
+            "scaling",
+            num_nodes=400,
+            rounds=2,
+            seed=0,
+            repeats=1,
+            latency_memory="sparse",
+            evaluation={"mode": "sampled", "sample_size": 32},
+        )
+        task = specs[0].expand()[0]
+        assert task.scenario_params == {"latency_memory": "sparse"}
+        assert task.evaluation_params == {"mode": "sampled", "sample_size": 32}
+
     def test_parser_has_cluster_flag(self):
         parser = build_parser()
         args = parser.parse_args(["figure3a", "--store", "runs/", "--cluster"])

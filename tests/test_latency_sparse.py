@@ -1,0 +1,194 @@
+"""Parity suite for the on-demand (``memory="sparse"``) latency backend.
+
+The sparse backend's contract: every gather is computed from nothing but the
+pair seed — symmetric, clamped, identical across calls, processes and
+workers — and the engine built on top of it produces the same arrival times
+as a dense model holding the identical matrix.
+"""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import default_config
+from repro.core.network import P2PNetwork
+from repro.core.propagation import PropagationEngine
+from repro.datasets.bitnodes import generate_population
+from repro.latency.base import MatrixLatencyModel
+from repro.latency.geo import (
+    MIN_LINK_LATENCY_MS,
+    GeographicLatencyModel,
+    pair_uniforms,
+)
+
+N = 60
+
+
+@pytest.fixture(scope="module")
+def population():
+    return generate_population(
+        default_config(num_nodes=N), np.random.default_rng(5)
+    )
+
+
+@pytest.fixture(scope="module")
+def sparse(population):
+    return GeographicLatencyModel(
+        population.nodes, np.random.default_rng(42), memory="sparse"
+    )
+
+
+class TestSparseBackend:
+    def test_rejects_unknown_memory(self, population):
+        with pytest.raises(ValueError):
+            GeographicLatencyModel(
+                population.nodes, np.random.default_rng(0), memory="mmap"
+            )
+
+    def test_memory_accessors(self, population, sparse):
+        dense = GeographicLatencyModel(
+            population.nodes, np.random.default_rng(42)
+        )
+        assert dense.memory == "dense"
+        assert dense.pair_seed is None
+        assert sparse.memory == "sparse"
+        assert isinstance(sparse.pair_seed, int)
+
+    @given(
+        u=st.integers(min_value=0, max_value=N - 1),
+        v=st.integers(min_value=0, max_value=N - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pairwise_matches_scalar_path_and_symmetry(self, u, v, sparse):
+        gathered = sparse.pairwise(
+            np.array([u, v], dtype=np.int64), np.array([v, u], dtype=np.int64)
+        )
+        assert gathered[0] == gathered[1]  # symmetric
+        assert sparse.latency(u, v) == gathered[0]  # scalar path agrees
+        if u == v:
+            assert gathered[0] == 0.0
+        else:
+            assert gathered[0] >= MIN_LINK_LATENCY_MS
+
+    def test_matrix_invariants(self, sparse):
+        matrix = sparse.as_matrix()
+        assert np.array_equal(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+        off = matrix[~np.eye(N, dtype=bool)]
+        assert off.min() >= MIN_LINK_LATENCY_MS
+        sparse.validate()
+
+    def test_repeated_gathers_identical(self, sparse):
+        rng = np.random.default_rng(1)
+        u = rng.integers(0, N, size=500)
+        v = rng.integers(0, N, size=500)
+        assert np.array_equal(sparse.pairwise(u, v), sparse.pairwise(u, v))
+
+    def test_fresh_instance_same_seed_identical(self, population, sparse):
+        rebuilt = GeographicLatencyModel(
+            population.nodes, np.random.default_rng(42), memory="sparse"
+        )
+        rng = np.random.default_rng(2)
+        u = rng.integers(0, N, size=300)
+        v = rng.integers(0, N, size=300)
+        assert np.array_equal(sparse.pairwise(u, v), rebuilt.pairwise(u, v))
+
+    def test_zero_jitter_matches_dense_exactly(self, population):
+        dense = GeographicLatencyModel(
+            population.nodes, np.random.default_rng(0), jitter=0.0
+        )
+        sparse = GeographicLatencyModel(
+            population.nodes,
+            np.random.default_rng(0),
+            jitter=0.0,
+            memory="sparse",
+        )
+        assert np.array_equal(sparse.as_matrix(), dense.as_matrix())
+
+    def test_jitter_preserves_region_scale(self, population, sparse):
+        # The multiplicative log-normal jitter has mean 1, so region means
+        # survive on average: sparse and dense matrices agree within a few
+        # percent at this sample size.
+        dense = GeographicLatencyModel(
+            population.nodes, np.random.default_rng(42)
+        )
+        mask = ~np.eye(N, dtype=bool)
+        assert sparse.as_matrix()[mask].mean() == pytest.approx(
+            dense.as_matrix()[mask].mean(), rel=0.1
+        )
+
+    def test_cross_process_determinism(self, population, sparse):
+        """A separate interpreter recomputes identical pair latencies."""
+        u = [0, 1, 5, 17, 33, 59]
+        v = [1, 0, 44, 17, 59, 33]
+        script = (
+            "import numpy as np\n"
+            "from repro.config import default_config\n"
+            "from repro.datasets.bitnodes import generate_population\n"
+            "from repro.latency.geo import GeographicLatencyModel\n"
+            f"pop = generate_population(default_config(num_nodes={N}),"
+            " np.random.default_rng(5))\n"
+            "model = GeographicLatencyModel(pop.nodes,"
+            " np.random.default_rng(42), memory='sparse')\n"
+            f"values = model.pairwise(np.array({u}), np.array({v}))\n"
+            "print(','.join(repr(float(x)) for x in values))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        remote = np.array([float(x) for x in out.stdout.strip().split(",")])
+        local = sparse.pairwise(np.array(u), np.array(v))
+        assert np.array_equal(remote, local)
+
+    def test_engine_parity_with_dense_copy(self, population, sparse):
+        """The pairwise-only engine reproduces a dense model's arrivals."""
+        frozen = MatrixLatencyModel(sparse.as_matrix())
+        delays = population.validation_delays
+        sparse_engine = PropagationEngine(sparse, delays)
+        dense_engine = PropagationEngine(frozen, delays)
+        network = P2PNetwork(num_nodes=N, out_degree=4, max_incoming=12)
+        rng = np.random.default_rng(9)
+        for node in range(N):
+            network.fill_random_outgoing(node, rng)
+        sources = np.array([0, 7, 31])
+        left = sparse_engine.propagate(network, sources)
+        right = dense_engine.propagate(network, sources)
+        assert np.array_equal(left.arrival_times, right.arrival_times)
+        assert np.array_equal(
+            sparse_engine.all_sources_arrival_times(network),
+            dense_engine.all_sources_arrival_times(network),
+        )
+
+
+class TestPairUniforms:
+    def test_symmetric_and_bounded(self):
+        rng = np.random.default_rng(0)
+        u = rng.integers(0, 10_000, size=2000)
+        v = rng.integers(0, 10_000, size=2000)
+        forward = pair_uniforms(123, u, v)
+        backward = pair_uniforms(123, v, u)
+        assert np.array_equal(forward, backward)
+        assert forward.min() > 0.0
+        assert forward.max() < 1.0
+
+    def test_seed_sensitivity(self):
+        u = np.arange(1000)
+        v = np.arange(1000) + 1
+        assert not np.array_equal(
+            pair_uniforms(1, u, v), pair_uniforms(2, u, v)
+        )
+
+    def test_roughly_uniform(self):
+        u = np.repeat(np.arange(200), 200)
+        v = np.tile(np.arange(200), 200) + 200
+        values = pair_uniforms(7, u, v)
+        histogram, _ = np.histogram(values, bins=10, range=(0.0, 1.0))
+        assert histogram.min() > 0.8 * values.size / 10
+        assert histogram.max() < 1.2 * values.size / 10
