@@ -20,8 +20,10 @@ run).
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 import pytest
 
@@ -58,3 +60,15 @@ def print_banner(title: str) -> None:
     print("=" * 78)
     print(title)
     print("=" * 78)
+
+
+def emit_bench_json(record: Mapping[str, Any]) -> None:
+    """Print one scrapeable ``BENCH-JSON`` record line.
+
+    Every benchmark emits its measurements through this helper so CI logs
+    can be scraped with a single ``grep '^BENCH-JSON '`` regardless of which
+    suite produced them.  The record schema is documented in README.md
+    ("Benchmark record schema"); keys are sorted so diffs between runs of
+    the same benchmark align line-by-line.
+    """
+    print("BENCH-JSON " + json.dumps(dict(record), sort_keys=True))

@@ -16,7 +16,6 @@ the three fleet runs laptop-sized.
 
 from __future__ import annotations
 
-import json
 import os
 import subprocess
 import sys
@@ -29,7 +28,7 @@ from repro.config import default_config
 from repro.runtime import ResultStore, Worker, WorkQueue
 from repro.runtime.tasks import SweepSpec, TaskRecord
 
-from benchmarks.conftest import print_banner
+from benchmarks.conftest import emit_bench_json, print_banner
 
 SRC_DIR = str(Path(__file__).resolve().parents[1] / "src")
 FLEET_SIZES = (1, 2, 4)
@@ -104,7 +103,7 @@ def test_bench_cluster_fleet_speedup(tmp_path, scale):
         "wall_clock_s": {str(k): round(v, 3) for k, v in wall_clock.items()},
         "speedup_4v1": round(speedup, 3),
     }
-    print("BENCH-JSON " + json.dumps(record, sort_keys=True))
+    emit_bench_json(record)
     assert speedup >= 1.5, f"expected >= 1.5x with {MAX_FLEET} workers, got {speedup:.2f}x"
 
 
@@ -142,7 +141,7 @@ def test_bench_lease_overhead_per_task(tmp_path):
         "total_s": round(elapsed, 3),
         "per_task_ms": round(per_task_ms, 3),
     }
-    print("BENCH-JSON " + json.dumps(record, sort_keys=True))
+    emit_bench_json(record)
     # The lease cycle is a handful of tiny filesystem ops; anything beyond
     # a quarter second per task would dominate real simulation cells.
     assert per_task_ms < 250.0

@@ -25,7 +25,6 @@ Knobs:
 
 from __future__ import annotations
 
-import json
 import os
 import resource
 import time
@@ -43,7 +42,7 @@ from repro.latency.geo import GeographicLatencyModel
 from repro.metrics.evaluator import DelayEvaluator
 from repro.protocols.registry import make_protocol
 
-from benchmarks.conftest import print_banner
+from benchmarks.conftest import emit_bench_json, print_banner
 
 SIZES = tuple(
     int(size)
@@ -119,7 +118,7 @@ def test_bench_latency_backends(num_nodes):
             "gather_8n_ms": round(gather_ms, 3),
             "rss_mb": round(_rss_mb(), 1),
         }
-        print("BENCH-JSON " + json.dumps(record, sort_keys=True))
+        emit_bench_json(record)
 
     model = models["sparse"]
     engine = PropagationEngine(model, population.validation_delays)
@@ -146,7 +145,7 @@ def test_bench_latency_backends(num_nodes):
                 else round(evaluation.standard_error_ms[0], 3)
             ),
         }
-        print("BENCH-JSON " + json.dumps(record, sort_keys=True))
+        emit_bench_json(record)
         assert np.isfinite(evaluation.reach(0.9)).mean() > 0.95
 
 
@@ -217,7 +216,7 @@ def test_bench_memory_wall_20k():
         "memory_reduction": round(reduction, 1),
         "rss_mb": round(_rss_mb(), 1),
     }
-    print("BENCH-JSON " + json.dumps(record, sort_keys=True))
+    emit_bench_json(record)
     assert reduction >= 10.0, (
         f"sparse peak {_mb(sparse_peak):.0f} MB is less than 10x below the "
         f"dense backend's {_mb(dense_peak):.0f} MB at N={WALL_N}"

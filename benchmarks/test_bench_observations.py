@@ -19,7 +19,6 @@ Knobs:
 
 from __future__ import annotations
 
-import json
 import math
 import os
 import time
@@ -32,7 +31,7 @@ from repro.core.observations import NEVER, ObservationSet, percentile_score
 from repro.core.simulator import Simulator
 from repro.protocols.registry import make_protocol
 
-from benchmarks.conftest import print_banner
+from benchmarks.conftest import emit_bench_json, print_banner
 
 BLOCKS = int(os.environ.get("PERIGEE_BENCH_BLOCKS", "50"))
 SIZES = tuple(
@@ -211,7 +210,7 @@ def test_bench_observation_pipeline(num_nodes):
             "legacy_round_ms": round(legacy_ms, 2),
             "speedup": round(speedup, 2),
         }
-        print("BENCH-JSON " + json.dumps(record, sort_keys=True))
+        emit_bench_json(record)
         assert array_ms > 0.0
         if variant == "perigee-subset" and num_nodes >= 1000:
             # The refactor's acceptance bar: >=5x on the Perigee-Subset
@@ -242,7 +241,7 @@ def test_bench_large_network_smoke():
         "blocks_per_round": BLOCKS,
         "round_seconds": round(round_s, 2),
     }
-    print("BENCH-JSON " + json.dumps(record, sort_keys=True))
+    emit_bench_json(record)
     degrees = [
         len(simulator.network.outgoing_neighbors(node))
         for node in range(0, 5000, 500)

@@ -1,0 +1,129 @@
+"""Benchmark of the telemetry recorder's overhead on the simulation loop.
+
+Runs the same Perigee-Subset simulation twice — once under the default
+:class:`~repro.telemetry.recorder.NullRecorder` and once with a live
+:class:`~repro.telemetry.recorder.MetricsRecorder` installed — from fresh
+same-seed simulators, and measures the per-round wall clock of each arm
+(min over repeats, which is the noise-robust estimator for "how fast can
+this go").
+
+Two properties are enforced:
+
+* **bit-identical results** — telemetry never touches the RNG, so the
+  final topology must match edge-for-edge between the arms;
+* **bounded overhead** — at the paper scale (N >= 1000, where a round
+  costs hundreds of milliseconds) the instrumented arm must be within 5%
+  of the null arm, the acceptance bar of the observability PR.  At smaller
+  CI scales a round is so cheap that scheduler noise dominates, so only a
+  loose sanity bound (2x) is asserted.
+
+One ``BENCH-JSON`` line is emitted with both timings and the overhead
+fraction so CI logs are scrapeable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.config import default_config
+from repro.core.simulator import Simulator
+from repro.protocols.registry import make_protocol
+from repro.telemetry.recorder import MetricsRecorder, use_recorder
+
+from benchmarks.conftest import emit_bench_json, print_banner
+
+NODES = int(os.environ.get("PERIGEE_BENCH_NODES", "300"))
+ROUNDS = int(os.environ.get("PERIGEE_BENCH_TELEMETRY_ROUNDS", "4"))
+BLOCKS = int(os.environ.get("PERIGEE_BENCH_BLOCKS", "50"))
+REPEATS = int(os.environ.get("PERIGEE_BENCH_TELEMETRY_REPEATS", "3"))
+
+#: The PR's acceptance bar, asserted at paper scale only.
+STRICT_OVERHEAD = 0.05
+STRICT_NODES = 1000
+#: Sanity bound at small CI scale, where timing noise dominates.
+LOOSE_OVERHEAD = 1.0
+
+
+def _fresh_simulator() -> Simulator:
+    config = default_config(
+        num_nodes=NODES, rounds=ROUNDS, blocks_per_round=BLOCKS, seed=0
+    )
+    return Simulator(config, make_protocol("perigee-subset"))
+
+
+def _topology(simulator: Simulator) -> list[tuple[int, int]]:
+    return sorted(
+        (node, peer)
+        for node in range(simulator.network.num_nodes)
+        for peer in simulator.network.outgoing_neighbors(node)
+    )
+
+
+def _run_arm(recorder: MetricsRecorder | None) -> tuple[float, list]:
+    """(seconds for all rounds, final topology) for one fresh simulator."""
+    simulator = _fresh_simulator()
+    start = time.perf_counter()
+    if recorder is None:
+        for round_index in range(ROUNDS):
+            simulator.run_round(round_index)
+    else:
+        with use_recorder(recorder):
+            for round_index in range(ROUNDS):
+                simulator.run_round(round_index)
+    elapsed = time.perf_counter() - start
+    return elapsed, _topology(simulator)
+
+
+def test_bench_telemetry_overhead():
+    print_banner(
+        f"Telemetry recorder overhead, N={NODES}, {ROUNDS} rounds x "
+        f"{REPEATS} repeats (null vs metrics recorder)"
+    )
+    null_times, metrics_times = [], []
+    null_topology = metrics_topology = None
+    recorder = None
+    for _ in range(REPEATS):
+        elapsed, topology = _run_arm(None)
+        null_times.append(elapsed)
+        assert null_topology is None or topology == null_topology
+        null_topology = topology
+
+        recorder = MetricsRecorder()
+        elapsed, topology = _run_arm(recorder)
+        metrics_times.append(elapsed)
+        assert metrics_topology is None or topology == metrics_topology
+        metrics_topology = topology
+
+    # Telemetry must never touch the RNG: same seed => same final topology.
+    assert null_topology == metrics_topology
+
+    # The last instrumented run must actually have recorded the round loop.
+    counters = recorder.snapshot()["counters"]
+    assert counters.get("round.count") == ROUNDS
+    assert counters.get("round.blocks_mined", 0) > 0
+    assert counters.get("round.edges_observed", 0) > 0
+    span_names = {key.split("|")[0] for key in recorder.snapshot()["spans"]}
+    assert {"round.mine", "round.propagate", "round.observe", "round.update"} <= (
+        span_names
+    )
+
+    null_s = min(null_times)
+    metrics_s = min(metrics_times)
+    overhead = (metrics_s - null_s) / null_s if null_s > 0 else 0.0
+    emit_bench_json(
+        {
+            "bench": "telemetry-overhead",
+            "num_nodes": NODES,
+            "rounds": ROUNDS,
+            "blocks_per_round": BLOCKS,
+            "null_s": round(null_s, 4),
+            "metrics_s": round(metrics_s, 4),
+            "overhead": round(overhead, 4),
+        }
+    )
+    bound = STRICT_OVERHEAD if NODES >= STRICT_NODES else LOOSE_OVERHEAD
+    assert overhead < bound, (
+        f"telemetry overhead {overhead:.1%} exceeds the "
+        f"{bound:.0%} bound at N={NODES}"
+    )

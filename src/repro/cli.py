@@ -23,8 +23,9 @@ work queue (lease files with heartbeats; a crashed worker's tasks are
 re-leased automatically)::
 
     perigee-sim submit figure3a --store runs/ --repeats 3   # enqueue only
-    perigee-sim worker --store runs/ --drain                # xN, any machine
-    perigee-sim status --store runs/                        # fleet liveness
+    perigee-sim worker --store runs/ --drain [--telemetry]  # xN, any machine
+    perigee-sim status --store runs/ [--json]               # fleet liveness
+    perigee-sim serve --store runs/ --port 8321             # /status, /metrics
     perigee-sim resume --store runs/ [--cluster]            # aggregate/report
     perigee-sim compact --store runs/                       # merge shards
 
@@ -181,6 +182,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="exit after completing this many tasks",
     )
+    worker_parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help=(
+            "record span/counter telemetry and flush it to this worker's "
+            "metric shard (telemetry/metrics-<id>.jsonl) after each task"
+        ),
+    )
 
     status_parser = subparsers.add_parser(
         "status", help="show queue depth and worker liveness for a store"
@@ -193,6 +202,34 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=60.0,
         help="liveness horizon: workers silent longer than this are shown dead",
+    )
+    status_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full fleet snapshot as JSON (same payload as /status)",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help=(
+            "HTTP telemetry endpoint for a store: /status (JSON) and "
+            "/metrics (Prometheus text), readable while a sweep drains"
+        ),
+    )
+    serve_parser.add_argument(
+        "--store", required=True, help="store directory to expose"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8321, help="bind port (default 8321)"
+    )
+    serve_parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=60.0,
+        help="liveness horizon used for the worker-alive gauges",
     )
 
     for name in EXPERIMENTS:
@@ -389,6 +426,7 @@ def _run_worker(args: argparse.Namespace) -> int:
         lease_ttl=args.lease_ttl,
         max_attempts=args.max_attempts,
         poll_interval=args.poll_interval,
+        telemetry=args.telemetry,
     )
     print(f"worker {worker.worker_id} draining {args.store}", file=sys.stderr)
 
@@ -426,25 +464,30 @@ def _run_compact(args: argparse.Namespace) -> int:
 
 
 def _run_status(args: argparse.Namespace) -> int:
-    from repro.runtime.cluster import WorkQueue
+    import json
 
-    queue = WorkQueue(ResultStore(args.store), lease_ttl=args.lease_ttl)
-    status = queue.status()
-    print(
-        f"queue: {status.pending} pending, {status.leased} leased; "
-        f"store: {status.records_ok} ok, {status.records_failed} failed"
-    )
-    if not status.workers:
-        print("workers: none registered")
-        return 0
-    print("workers:")
-    for worker in status.workers:
-        liveness = "alive" if worker.alive else "dead "
-        print(
-            f"  {worker.worker_id:<32} {liveness} "
-            f"last seen {worker.age_seconds:6.1f}s ago  "
-            f"completed {worker.completed}"
+    from repro.telemetry.fleet import fleet_status, render_status_text
+
+    payload = fleet_status(ResultStore(args.store), lease_ttl=args.lease_ttl)
+    if args.json:
+        print(json.dumps(payload, sort_keys=True, indent=2))
+    else:
+        print(render_status_text(payload))
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.telemetry.serve import serve_forever
+
+    try:
+        serve_forever(
+            ResultStore(args.store),
+            host=args.host,
+            port=args.port,
+            lease_ttl=args.lease_ttl,
         )
+    except KeyboardInterrupt:
+        return 130
     return 0
 
 
@@ -481,6 +524,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_worker(args)
     if args.command == "status":
         return _run_status(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.cluster and args.store is None:
         parser.error("--cluster requires --store (the queue lives inside it)")
     if args.cluster and args.workers > 1:

@@ -35,6 +35,7 @@ from scipy.sparse.csgraph import dijkstra
 from repro.core.network import P2PNetwork
 from repro.core.observations import RoundObservations
 from repro.latency.base import LatencyModel
+from repro.telemetry.recorder import get_recorder
 
 
 @dataclass(frozen=True)
@@ -161,6 +162,9 @@ class PropagationEngine:
             raise ValueError("network size must match the latency model")
         graph = self._directed_weight_graph(network)
         unique_sources, inverse = np.unique(sources, return_inverse=True)
+        recorder = get_recorder()
+        recorder.incr("engine.propagate_blocks", int(sources.size))
+        recorder.incr("engine.dijkstra_sources", int(unique_sources.size))
         distances = dijkstra(graph, directed=True, indices=unique_sources)
         distances = np.atleast_2d(distances)
         # Remove the miner's own validation delay which the directed weights
@@ -329,6 +333,7 @@ class PropagationEngine:
             raise ValueError("source ids out of range")
         if graph is None:
             graph = self.weight_graph(network)
+        get_recorder().incr("engine.dijkstra_sources", int(sources.size))
         distances = dijkstra(graph, directed=True, indices=sources)
         distances = np.atleast_2d(distances)
         distances = distances - self._validation[sources][:, None]

@@ -32,6 +32,7 @@ from repro.latency.geo import GeographicLatencyModel
 from repro.latency.metric_space import MetricSpaceLatencyModel
 from repro.metrics.evaluator import DEFAULT_EVALUATOR, DelayEvaluator
 from repro.protocols.base import NeighborSelectionProtocol, ProtocolContext
+from repro.telemetry.recorder import get_recorder
 
 
 @dataclass(frozen=True)
@@ -245,6 +246,9 @@ class Simulator:
         round_observations = self._engine.round_observations(
             self._network, result, block_ids=block_ids
         )
+        get_recorder().incr(
+            "round.edges_observed", int(round_observations.senders.size)
+        )
         return ObservationMap(round_observations)
 
     def evaluate(self) -> np.ndarray:
@@ -263,21 +267,36 @@ class Simulator:
         )
 
     def run_round(self, round_index: int, evaluate: bool = False) -> RoundResult:
-        """Execute one full round: mine, propagate, observe, update, evaluate."""
-        blocks = self.mine_blocks()
-        result = self.propagate_blocks(blocks)
+        """Execute one full round: mine, propagate, observe, update, evaluate.
+
+        Each phase runs under a telemetry span (``round.mine`` /
+        ``round.propagate`` / ``round.observe`` / ``round.update`` /
+        ``round.evaluate``); with the default no-op recorder the spans cost
+        one function call each and touch no RNG, so instrumented and
+        uninstrumented runs are bit-identical.
+        """
+        recorder = get_recorder()
+        with recorder.span("round.mine"):
+            blocks = self.mine_blocks()
+        with recorder.span("round.propagate"):
+            result = self.propagate_blocks(blocks)
         if self._protocol.is_adaptive:
-            observations = self.collect_observations(blocks, result)
-            self._protocol.update(
-                self._context, self._network, observations, self._rng
-            )
+            with recorder.span("round.observe"):
+                observations = self.collect_observations(blocks, result)
+            with recorder.span("round.update"):
+                self._protocol.update(
+                    self._context, self._network, observations, self._rng
+                )
         reach = median = p90 = None
         if evaluate:
-            reach = self.evaluate()
+            with recorder.span("round.evaluate"):
+                reach = self.evaluate()
             finite = reach[np.isfinite(reach)]
             if finite.size:
                 median = float(np.median(finite))
                 p90 = float(np.percentile(finite, 90))
+        recorder.incr("round.count")
+        recorder.incr("round.blocks_mined", len(blocks))
         return RoundResult(
             round_index=round_index,
             blocks=tuple(blocks),

@@ -44,6 +44,7 @@ from typing import TYPE_CHECKING, Any, Mapping, Sequence
 import numpy as np
 
 from repro.metrics.delay import reach_times_for_sources
+from repro.telemetry.recorder import get_recorder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.network import P2PNetwork
@@ -281,18 +282,21 @@ class DelayEvaluator:
         # source once and expand the rows back over the drawn multiset.
         distinct, inverse = np.unique(sources, return_inverse=True)
 
-        graph = engine.weight_graph(network)
+        recorder = get_recorder()
+        mode = "sampled" if sampled else "exact"
         targets = tuple(float(t) for t in target_fractions)
-        distinct_reach = np.empty((len(targets), distinct.size), dtype=float)
-        for start in range(0, distinct.size, self.chunk_size):
-            chunk = distinct[start : start + self.chunk_size]
-            arrival = engine.arrival_times_from(network, chunk, graph=graph)
-            if columns is not None:
-                arrival = arrival[:, columns]
-            for index, target in enumerate(targets):
-                distinct_reach[index, start : start + chunk.size] = (
-                    reach_times_for_sources(arrival, weights, target)
-                )
+        with recorder.span("evaluate.delay", mode=mode):
+            graph = engine.weight_graph(network)
+            distinct_reach = np.empty((len(targets), distinct.size), dtype=float)
+            for start in range(0, distinct.size, self.chunk_size):
+                chunk = distinct[start : start + self.chunk_size]
+                arrival = engine.arrival_times_from(network, chunk, graph=graph)
+                if columns is not None:
+                    arrival = arrival[:, columns]
+                for index, target in enumerate(targets):
+                    distinct_reach[index, start : start + chunk.size] = (
+                        reach_times_for_sources(arrival, weights, target)
+                    )
         reach = distinct_reach[:, inverse]
 
         errors: tuple[float | None, ...]
@@ -302,6 +306,12 @@ class DelayEvaluator:
             )
         else:
             errors = tuple(None for _ in targets)
+        recorder.incr("evaluate.calls", mode=mode)
+        recorder.incr("evaluate.dijkstra_sources", int(distinct.size))
+        if sampled:
+            recorder.incr("evaluate.sampled_draws", int(sources.size))
+            if errors[0] is not None:
+                recorder.gauge("evaluate.standard_error_ms", errors[0])
         return DelayEvaluation(
             source_ids=sources,
             target_fractions=targets,

@@ -37,6 +37,7 @@ from repro.protocols.base import (
     ProtocolContext,
     random_initial_topology,
 )
+from repro.telemetry.recorder import get_recorder
 
 
 class PerigeeBase(NeighborSelectionProtocol):
@@ -116,46 +117,60 @@ class PerigeeBase(NeighborSelectionProtocol):
             type(self).select_retained_block is PerigeeBase.select_retained_block
             and type(self).select_retained is not PerigeeBase.select_retained
         )
-        provider = (
-            None if legacy_only else normalized_observation_provider(observations)
-        )
-        order = rng.permutation(network.num_nodes)
-        for raw_id in order:
-            node_id = int(raw_id)
-            if not self.updates_node(node_id):
-                continue
-            outgoing = network.outgoing_neighbors(node_id)
-            if not outgoing:
-                network.fill_random_outgoing(node_id, rng)
-                continue
-            if legacy_only:
-                node_observations = observations.get(node_id)
-                if node_observations is None:
-                    node_observations = ObservationSet(node_id=node_id)
-                retained = self.select_retained(
-                    node_id=node_id,
-                    outgoing=set(outgoing),
-                    observations=node_observations.normalized(),
-                    retain_budget=retain_budget,
-                    rng=rng,
-                )
-            else:
-                neighbors = np.fromiter(
-                    sorted(outgoing), dtype=np.int64, count=len(outgoing)
-                )
-                times = provider(node_id, neighbors)
-                retained = self.select_retained_block(
-                    node_id=node_id,
-                    neighbors=neighbors,
-                    times=times,
-                    retain_budget=retain_budget,
-                    rng=rng,
-                )
-            retained = {peer for peer in retained if peer in outgoing}
-            self.on_neighbors_dropped(node_id, set(outgoing) - retained)
-            network.replace_outgoing(
-                node_id, retained, rng, num_random=network.out_degree - len(retained)
+        recorder = get_recorder()
+        nodes_updated = 0
+        neighbors_retained = 0
+        with recorder.span("perigee.score"):
+            provider = (
+                None
+                if legacy_only
+                else normalized_observation_provider(observations)
             )
+        with recorder.span("perigee.rewire"):
+            order = rng.permutation(network.num_nodes)
+            for raw_id in order:
+                node_id = int(raw_id)
+                if not self.updates_node(node_id):
+                    continue
+                outgoing = network.outgoing_neighbors(node_id)
+                if not outgoing:
+                    network.fill_random_outgoing(node_id, rng)
+                    continue
+                if legacy_only:
+                    node_observations = observations.get(node_id)
+                    if node_observations is None:
+                        node_observations = ObservationSet(node_id=node_id)
+                    retained = self.select_retained(
+                        node_id=node_id,
+                        outgoing=set(outgoing),
+                        observations=node_observations.normalized(),
+                        retain_budget=retain_budget,
+                        rng=rng,
+                    )
+                else:
+                    neighbors = np.fromiter(
+                        sorted(outgoing), dtype=np.int64, count=len(outgoing)
+                    )
+                    times = provider(node_id, neighbors)
+                    retained = self.select_retained_block(
+                        node_id=node_id,
+                        neighbors=neighbors,
+                        times=times,
+                        retain_budget=retain_budget,
+                        rng=rng,
+                    )
+                retained = {peer for peer in retained if peer in outgoing}
+                self.on_neighbors_dropped(node_id, set(outgoing) - retained)
+                nodes_updated += 1
+                neighbors_retained += len(retained)
+                network.replace_outgoing(
+                    node_id,
+                    retained,
+                    rng,
+                    num_random=network.out_degree - len(retained),
+                )
+        recorder.incr("perigee.nodes_updated", nodes_updated)
+        recorder.incr("perigee.neighbors_retained", neighbors_retained)
 
     def select_retained_block(
         self,

@@ -41,6 +41,10 @@ class ClusterExecutor:
         Queue lease parameters (must match the external workers').
     poll_interval:
         Inline worker's sleep while waiting on tasks leased elsewhere.
+    telemetry:
+        Forwarded to the inline :class:`~repro.runtime.cluster.worker.Worker`;
+        when true it records span/counter telemetry and flushes it to its
+        metric shard like any external worker.
     """
 
     #: Attribute parity with Serial/ParallelExecutor ("local" worker count).
@@ -58,12 +62,14 @@ class ClusterExecutor:
         lease_ttl: float = DEFAULT_LEASE_TTL,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         poll_interval: float = 0.2,
+        telemetry: bool = False,
     ) -> None:
         self.store = store if isinstance(store, ResultStore) else ResultStore(store)
         self._worker_id = worker_id
         self.lease_ttl = float(lease_ttl)
         self.max_attempts = int(max_attempts)
         self.poll_interval = float(poll_interval)
+        self.telemetry = bool(telemetry)
 
     def map(
         self,
@@ -80,6 +86,7 @@ class ClusterExecutor:
             max_attempts=self.max_attempts,
             poll_interval=self.poll_interval,
             run=run,
+            telemetry=self.telemetry,
         )
         keys = {task.content_hash() for task in tasks}
         for task in tasks:

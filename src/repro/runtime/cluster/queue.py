@@ -48,6 +48,7 @@ from repro.runtime.store import (
     sanitize_writer_id,
 )
 from repro.runtime.tasks import SweepSpec, Task, TaskRecord
+from repro.telemetry.recorder import get_recorder
 
 CLUSTER_DIRNAME = "cluster"
 TASKS_DIRNAME = "tasks"
@@ -87,12 +88,30 @@ class Claim:
 
 @dataclass(frozen=True)
 class WorkerStatus:
-    """Liveness snapshot of one registered worker."""
+    """Liveness snapshot of one worker.
+
+    A worker appears here as soon as it is *visible on disk* — through its
+    registry file or through any lease it holds — not only after its first
+    completed task lands in a result shard.  ``age_seconds`` is therefore
+    the freshest evidence of life available: the smaller of the registry
+    beacon age and the youngest held lease's heartbeat age.
+    """
 
     worker_id: str
     age_seconds: float
     alive: bool
     completed: int
+    active_claims: int = 0
+
+
+@dataclass(frozen=True)
+class LeaseStatus:
+    """One currently held lease (a claimed, not-yet-completed task)."""
+
+    key: str
+    worker_id: str
+    attempt: int
+    age_seconds: float
 
 
 @dataclass(frozen=True)
@@ -104,6 +123,7 @@ class ClusterStatus:
     records_ok: int
     records_failed: int
     workers: list[WorkerStatus] = field(default_factory=list)
+    leases: list[LeaseStatus] = field(default_factory=list)
 
 
 class WorkQueue:
@@ -297,6 +317,7 @@ class WorkQueue:
             # holder an instant ago) or is unreadable; give the lease back.
             lease_path.unlink(missing_ok=True)
             return None
+        get_recorder().incr("queue.claims")
         return Claim(
             task=task,
             key=key,
@@ -333,6 +354,7 @@ class WorkQueue:
         except FileNotFoundError:
             return False
         tombstone.unlink(missing_ok=True)
+        get_recorder().incr("queue.reclaims")
         reclaims = self._read_reclaims(key) + 1
         self._write_reclaims(key, reclaims)
         if reclaims + 1 > self.max_attempts:  # next claim would exceed the cap
@@ -373,6 +395,7 @@ class WorkQueue:
                     ),
                 )
             )
+        get_recorder().incr("queue.exhausted")
         self._remove_entry(key, task_path)
 
     def heartbeat(self, claim: Claim) -> None:
@@ -396,6 +419,7 @@ class WorkQueue:
 
     def release(self, claim: Claim) -> None:
         """Give a claimed task back (e.g. on worker shutdown mid-task)."""
+        get_recorder().incr("queue.released")
         claim.lease_path.unlink(missing_ok=True)
 
     def _remove_entry(self, key: str, task_path: Path) -> None:
@@ -500,8 +524,41 @@ class WorkQueue:
         except FileNotFoundError:
             self.register_worker(worker_id)
 
+    def active_leases(self) -> list[LeaseStatus]:
+        """Every currently held lease, sorted by task key.
+
+        The lease file's mtime is its heartbeat, so ``age_seconds`` is the
+        time since the holder last proved it was alive on that task.
+        """
+        leases = []
+        now = time.time()
+        if not self.leases_dir.is_dir():
+            return leases
+        for path in sorted(self.leases_dir.glob("*.lease")):
+            try:
+                age = now - path.stat().st_mtime
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue  # reclaimed/completed under us, or mid-write
+            worker = payload.get("worker")
+            leases.append(
+                LeaseStatus(
+                    key=path.stem,
+                    worker_id=worker if isinstance(worker, str) else "unknown",
+                    attempt=int(payload.get("attempt", 1)),
+                    age_seconds=age,
+                )
+            )
+        return leases
+
     def status(self) -> ClusterStatus:
-        """Snapshot of queue depth, store counts, and worker liveness."""
+        """Snapshot of queue depth, store counts, and worker liveness.
+
+        Workers are discovered through their registry files *and* through
+        the leases they hold, so a worker that has claimed its first task
+        but not yet completed one still shows up — with its lease heartbeat
+        age — instead of only surfacing after its first result shard record.
+        """
         pending = 0
         leased = 0
         for task_path in self.tasks_dir.glob("*.json"):
@@ -511,29 +568,41 @@ class WorkQueue:
                 pending += 1
         records = self.store.load()
         records_ok = sum(1 for record in records.values() if record.ok)
-        workers = []
+        leases = self.active_leases()
+        claims: dict[str, list[LeaseStatus]] = {}
+        for lease in leases:
+            claims.setdefault(lease.worker_id, []).append(lease)
+        ages: dict[str, float] = {}
         now = time.time()
         if self.workers_dir.is_dir():
             for path in sorted(self.workers_dir.glob("*.json")):
                 try:
-                    age = now - path.stat().st_mtime
+                    ages[path.stem] = now - path.stat().st_mtime
                 except FileNotFoundError:
                     continue
-                worker_id = path.stem
-                workers.append(
-                    WorkerStatus(
-                        worker_id=worker_id,
-                        age_seconds=age,
-                        alive=age <= self.lease_ttl,
-                        completed=self._shard_record_count(worker_id),
-                    )
-                )
+        for worker_id, held in claims.items():
+            # A lease heartbeat is as good a liveness proof as the registry
+            # beacon; keep whichever is fresher (and admit lease-only
+            # workers that never managed to register).
+            lease_age = min(lease.age_seconds for lease in held)
+            ages[worker_id] = min(ages.get(worker_id, lease_age), lease_age)
+        workers = [
+            WorkerStatus(
+                worker_id=worker_id,
+                age_seconds=age,
+                alive=age <= self.lease_ttl,
+                completed=self._shard_record_count(worker_id),
+                active_claims=len(claims.get(worker_id, ())),
+            )
+            for worker_id, age in sorted(ages.items())
+        ]
         return ClusterStatus(
             pending=pending,
             leased=leased,
             records_ok=records_ok,
             records_failed=len(records) - records_ok,
             workers=workers,
+            leases=leases,
         )
 
     def _shard_record_count(self, worker_id: str) -> int:

@@ -30,6 +30,12 @@ from repro.runtime.cluster.queue import (
 from repro.runtime.executor import RunFunction, run_task
 from repro.runtime.store import ResultStore, sanitize_writer_id
 from repro.runtime.tasks import TaskRecord
+from repro.telemetry.recorder import (
+    MetricsRecorder,
+    get_recorder,
+    use_recorder,
+)
+from repro.telemetry.shards import ShardWriter
 
 #: ``on_record(record)`` — called after every task this worker completes.
 RecordCallback = Callable[[TaskRecord], None]
@@ -56,6 +62,14 @@ class Worker:
     run:
         Per-task work function (the standard
         :func:`~repro.runtime.executor.run_task` by default).
+    telemetry:
+        When true, the worker installs a
+        :class:`~repro.telemetry.recorder.MetricsRecorder` for the duration
+        of :meth:`run` and flushes cumulative snapshots to its private
+        metric shard (``telemetry/metrics-<worker>.jsonl``) after every
+        completed task and on exit, so ``perigee-sim serve`` can read the
+        fleet's counters mid-drain.  Off by default: the null recorder
+        keeps instrumented code paths bit-identical and near-free.
     """
 
     def __init__(
@@ -66,6 +80,7 @@ class Worker:
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         poll_interval: float = 1.0,
         run: RunFunction = run_task,
+        telemetry: bool = False,
     ) -> None:
         if poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
@@ -81,6 +96,7 @@ class Worker:
         )
         self.poll_interval = float(poll_interval)
         self.run_function = run
+        self.telemetry = bool(telemetry)
 
     def run(
         self,
@@ -99,23 +115,49 @@ class Worker:
         drained check to one sweep's content hashes (see
         :meth:`~repro.runtime.cluster.queue.WorkQueue.claim`).
         """
+        if not self.telemetry:
+            return self._run_loop(drain, max_tasks, on_record, keys)
+        recorder = MetricsRecorder()
+        writer = ShardWriter(self.store.directory, self.worker_id)
+        with use_recorder(recorder):
+            try:
+                return self._run_loop(
+                    drain, max_tasks, on_record, keys, flush=writer
+                )
+            finally:
+                writer.flush(recorder)
+
+    def _run_loop(
+        self,
+        drain: bool,
+        max_tasks: int | None,
+        on_record: RecordCallback | None,
+        keys: set[str] | None,
+        flush: ShardWriter | None = None,
+    ) -> int:
+        recorder = get_recorder()
         self.queue.register_worker(self.worker_id)
         completed = 0
         try:
             while max_tasks is None or completed < max_tasks:
                 claim = self.queue.claim(self.worker_id, keys=keys)
                 if claim is None:
+                    recorder.incr("worker.polls")
                     self.queue.beat_worker(self.worker_id)
                     if drain and self.queue.drained(keys=keys):
                         break
                     time.sleep(self.poll_interval)
                     continue
+                recorder.incr("worker.claims")
                 record = self._execute(claim)
                 completed += 1
+                recorder.incr("worker.completions")
                 # Beat the registry here too: a worker chewing through
                 # sub-heartbeat-interval tasks would otherwise look dead to
                 # `perigee-sim status` while actively draining.
                 self.queue.beat_worker(self.worker_id)
+                if flush is not None and isinstance(recorder, MetricsRecorder):
+                    flush.flush(recorder)
                 if on_record is not None:
                     on_record(record)
         finally:
@@ -144,6 +186,8 @@ class Worker:
 
     def _heartbeat_loop(self, claim: Claim, stop: threading.Event) -> None:
         interval = max(self.queue.lease_ttl / 4.0, _MIN_HEARTBEAT_INTERVAL)
+        recorder = get_recorder()
         while not stop.wait(interval):
             self.queue.heartbeat(claim)
             self.queue.beat_worker(self.worker_id)
+            recorder.incr("worker.heartbeats")

@@ -28,6 +28,7 @@ from repro.protocols.registry import make_protocol
 from repro.runtime.scenarios import Scenario, get_scenario
 from repro.runtime.store import ResultStore
 from repro.runtime.tasks import SweepSpec, Task, TaskRecord
+from repro.telemetry.recorder import get_recorder
 
 #: ``progress(done, total, record)`` — called after every completed task.
 ProgressCallback = Callable[[int, int, TaskRecord], None]
@@ -62,41 +63,51 @@ def run_task(task: Task, scenario: Scenario | None = None) -> TaskRecord:
     """
     start = time.perf_counter()
     key = task.content_hash()
+    recorder = get_recorder()
     try:
-        config = task.config
-        resolved = scenario if scenario is not None else get_scenario(task.scenario)
-        params = task.scenario_params
-        env_rng = np.random.default_rng(task.environment_seed())
-        population = resolved.build_population(config, params, env_rng)
-        latency = resolved.build_latency(config, population, params, env_rng)
-        protocol = make_protocol(task.protocol)
-        evaluator = DelayEvaluator.from_params(task.evaluation_params)
-        simulator = Simulator(
-            config=config,
-            protocol=protocol,
-            population=population,
-            latency=latency,
-            rng=np.random.default_rng(task.protocol_seed()),
-            delay_evaluator=evaluator,
-        )
-        if protocol.is_adaptive:
-            for round_index in range(task.rounds):
-                simulator.run_round(round_index)
-        # One evaluation pass covers both targets: the chunked (or sampled)
-        # Dijkstra passes are shared, only the reach computation differs.
-        evaluation = evaluator.evaluate(
-            simulator.engine,
-            simulator.network,
-            population.hash_power,
-            target_fractions=(config.hash_power_target, 0.5),
-        )
-        reach90 = evaluation.reach(config.hash_power_target)
-        reach50 = evaluation.reach(0.5)
-        histogram = None
-        if task.collect_histogram:
-            histogram = _histogram_payload(
-                edge_latency_histogram(simulator.network, latency, task.protocol)
+        with recorder.span(
+            "task.run", protocol=task.protocol, experiment=task.experiment
+        ):
+            config = task.config
+            resolved = (
+                scenario if scenario is not None else get_scenario(task.scenario)
             )
+            params = task.scenario_params
+            env_rng = np.random.default_rng(task.environment_seed())
+            population = resolved.build_population(config, params, env_rng)
+            latency = resolved.build_latency(config, population, params, env_rng)
+            protocol = make_protocol(task.protocol)
+            evaluator = DelayEvaluator.from_params(task.evaluation_params)
+            simulator = Simulator(
+                config=config,
+                protocol=protocol,
+                population=population,
+                latency=latency,
+                rng=np.random.default_rng(task.protocol_seed()),
+                delay_evaluator=evaluator,
+            )
+            if protocol.is_adaptive:
+                for round_index in range(task.rounds):
+                    simulator.run_round(round_index)
+            # One evaluation pass covers both targets: the chunked (or
+            # sampled) Dijkstra passes are shared, only the reach
+            # computation differs.
+            evaluation = evaluator.evaluate(
+                simulator.engine,
+                simulator.network,
+                population.hash_power,
+                target_fractions=(config.hash_power_target, 0.5),
+            )
+            reach90 = evaluation.reach(config.hash_power_target)
+            reach50 = evaluation.reach(0.5)
+            histogram = None
+            if task.collect_histogram:
+                histogram = _histogram_payload(
+                    edge_latency_histogram(
+                        simulator.network, latency, task.protocol
+                    )
+                )
+        recorder.incr("task.ok", protocol=task.protocol)
         return TaskRecord(
             key=key,
             task=task,
@@ -108,6 +119,7 @@ def run_task(task: Task, scenario: Scenario | None = None) -> TaskRecord:
             evaluation=evaluation.to_metadata() if evaluation.sampled else None,
         )
     except Exception as error:  # noqa: BLE001 - failure isolation by design
+        recorder.incr("task.failed", protocol=task.protocol)
         return TaskRecord(
             key=key,
             task=task,
@@ -284,6 +296,9 @@ def execute_sweep(
             if record is not None and record.ok:
                 cached[record.key] = record.mark_cached()
     pending = [task for task in tasks if task.content_hash() not in cached]
+    if cached:
+        # Cache-hit tagging: served-from-store cells, by originating sweep.
+        get_recorder().incr("task.cached", len(cached), experiment=spec.name)
 
     # Progress counts the whole grid: cached records are reported first so
     # the user sees "[k/total] ... (store)" lines, then live tasks continue

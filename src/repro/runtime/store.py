@@ -154,6 +154,15 @@ class ResultStore:
         """Directory of per-sweep spec files (one atomic write per sweep)."""
         return self._directory / SPECS_DIRNAME
 
+    @property
+    def telemetry_dir(self) -> Path:
+        """Directory of per-worker metric shards (``metrics-<worker>.jsonl``).
+
+        Written by workers running with telemetry enabled; read and merged
+        by ``perigee-sim status``/``serve`` (see :mod:`repro.telemetry.shards`).
+        """
+        return self._directory / "telemetry"
+
     def shard_paths(self) -> list[Path]:
         """Every results file readers merge: shared file first, then shards."""
         paths = []

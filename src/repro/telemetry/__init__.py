@@ -1,0 +1,88 @@
+"""Fleet-wide telemetry: spans, counters, gauges, shards, and serving.
+
+The subsystem has four layers, each importable on its own:
+
+* :mod:`repro.telemetry.recorder` — the span/counter/gauge API every
+  instrumented layer calls.  Disabled by default (:data:`NULL_RECORDER`),
+  in which case recording is a no-op and simulation outputs are
+  bit-identical to an uninstrumented build.
+* :mod:`repro.telemetry.shards` — per-worker JSONL metric shards under
+  ``<store>/telemetry/`` with a deterministic merge.
+* :mod:`repro.telemetry.fleet` — the merged fleet-status payload plus its
+  text / Prometheus renderings.
+* :mod:`repro.telemetry.serve` — the stdlib HTTP server behind
+  ``perigee-sim serve``.
+
+Typical enablement (what ``perigee-sim worker --telemetry`` does)::
+
+    from repro.telemetry import MetricsRecorder, use_recorder
+
+    recorder = MetricsRecorder()
+    with use_recorder(recorder):
+        ...  # run rounds / tasks; spans and counters accumulate
+    print(recorder.snapshot())
+"""
+
+from repro.telemetry.recorder import (
+    NULL_RECORDER,
+    MetricsRecorder,
+    NullRecorder,
+    SpanStats,
+    TelemetryRecorder,
+    TraceEvent,
+    get_recorder,
+    metric_key,
+    set_recorder,
+    split_key,
+    use_recorder,
+)
+# Shard/fleet/serve symbols are loaded lazily (PEP 562): importing them
+# eagerly would pull in repro.runtime.store, whose package __init__ imports
+# the instrumented engine modules — which import this package's recorder —
+# and the cycle would break `import repro.core.propagation`.
+_LAZY = {
+    "TELEMETRY_DIRNAME": "repro.telemetry.shards",
+    "ShardWriter": "repro.telemetry.shards",
+    "load_worker_snapshots": "repro.telemetry.shards",
+    "merge_snapshots": "repro.telemetry.shards",
+    "telemetry_dir": "repro.telemetry.shards",
+    "fleet_status": "repro.telemetry.fleet",
+    "render_status_text": "repro.telemetry.fleet",
+    "prometheus_text": "repro.telemetry.fleet",
+    "build_server": "repro.telemetry.serve",
+    "serve_forever": "repro.telemetry.serve",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+__all__ = [
+    "NULL_RECORDER",
+    "MetricsRecorder",
+    "NullRecorder",
+    "SpanStats",
+    "TelemetryRecorder",
+    "TraceEvent",
+    "get_recorder",
+    "metric_key",
+    "set_recorder",
+    "split_key",
+    "use_recorder",
+    "TELEMETRY_DIRNAME",
+    "ShardWriter",
+    "load_worker_snapshots",
+    "merge_snapshots",
+    "telemetry_dir",
+    "fleet_status",
+    "render_status_text",
+    "prometheus_text",
+    "build_server",
+    "serve_forever",
+]

@@ -1,0 +1,106 @@
+"""``perigee-sim serve`` — JSON + Prometheus endpoints over a store directory.
+
+Stdlib-only (``http.server``); no new dependencies.  The server is
+stateless: every request re-reads the store directory through
+:func:`repro.telemetry.fleet.fleet_status`, so it can be started before,
+during, or after a sweep and always reports the live on-disk state — point
+Prometheus at ``/metrics`` and scripts at ``/status``::
+
+    perigee-sim serve --store runs/ --port 8321
+    curl -s localhost:8321/status | python -m json.tool
+    curl -s localhost:8321/metrics
+
+Endpoints
+---------
+* ``GET /status`` — the merged fleet payload as JSON (identical to
+  ``perigee-sim status --json``).
+* ``GET /metrics`` — Prometheus text exposition (version 0.0.4).
+* ``GET /healthz`` — liveness probe (``ok``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.runtime.store import ResultStore
+from repro.telemetry.fleet import fleet_status, prometheus_text
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def build_server(
+    store: ResultStore | str | os.PathLike,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    lease_ttl: float = 60.0,
+) -> ThreadingHTTPServer:
+    """Create (but do not start) the telemetry HTTP server.
+
+    Pass ``port=0`` to bind an ephemeral port (``server.server_address``
+    reports the one chosen) — which is how the tests run it.
+    """
+    store = store if isinstance(store, ResultStore) else ResultStore(store)
+
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "perigee-sim-serve"
+
+        def log_message(self, format: str, *args: object) -> None:
+            return None  # quiet: one line per scrape is just noise
+
+        def _respond(self, code: int, content_type: str, body: bytes) -> None:
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            path = self.path.split("?", 1)[0]
+            try:
+                if path in ("/status", "/status/"):
+                    payload = fleet_status(store, lease_ttl=lease_ttl)
+                    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+                    self._respond(200, "application/json; charset=utf-8", body)
+                elif path in ("/metrics", "/metrics/"):
+                    payload = fleet_status(store, lease_ttl=lease_ttl)
+                    body = prometheus_text(payload).encode("utf-8")
+                    self._respond(200, PROMETHEUS_CONTENT_TYPE, body)
+                elif path in ("/", "/healthz"):
+                    self._respond(200, "text/plain; charset=utf-8", b"ok\n")
+                else:
+                    self._respond(
+                        404, "text/plain; charset=utf-8", b"not found\n"
+                    )
+            except BrokenPipeError:  # pragma: no cover - client went away
+                pass
+            except Exception as error:  # noqa: BLE001 - surface, don't crash
+                body = f"error: {type(error).__name__}: {error}\n".encode()
+                try:
+                    self._respond(500, "text/plain; charset=utf-8", body)
+                except OSError:  # pragma: no cover - socket already gone
+                    pass
+
+    server = ThreadingHTTPServer((host, port), Handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve_forever(
+    store: ResultStore | str | os.PathLike,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    lease_ttl: float = 60.0,
+) -> None:
+    """Blocking entry point used by the CLI subcommand."""
+    server = build_server(store, host=host, port=port, lease_ttl=lease_ttl)
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"serving fleet telemetry on http://{bound_host}:{bound_port} "
+        "(/status, /metrics)"
+    )
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()

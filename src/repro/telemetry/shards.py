@@ -1,0 +1,115 @@
+"""Per-worker telemetry metric shards under ``<store>/telemetry/``.
+
+The same shard-then-merge design the result store uses for records: every
+worker appends **cumulative** snapshots of its recorder to a private file
+(``metrics-<worker>.jsonl``), so no two processes ever write one file, and
+readers merge all shards on demand.  Each flushed line carries a
+monotonically increasing ``seq`` — readers keep the highest-``seq`` line per
+worker, which makes re-flushes idempotent and a torn trailing line (crash
+mid-write) simply invisible.
+
+Merging is deterministic: counters sum, span statistics combine
+(count/total sum, min/max extremes) and the per-worker breakdown is keyed by
+sorted worker id — no wall-clock ordering is involved, so any reader of the
+same shard files computes byte-identical aggregates.  Gauges are point-in-
+time per-worker values and intentionally do **not** merge across workers
+(the fleet view keeps them under each worker's entry).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.runtime.store import iter_jsonl_payloads, sanitize_writer_id
+from repro.telemetry.recorder import MetricsRecorder, SpanStats
+
+TELEMETRY_DIRNAME = "telemetry"
+SHARD_PREFIX = "metrics-"
+
+
+def telemetry_dir(store_directory: str | os.PathLike) -> Path:
+    """The telemetry shard directory inside a result-store directory."""
+    return Path(store_directory) / TELEMETRY_DIRNAME
+
+
+class ShardWriter:
+    """Appends cumulative recorder snapshots to one worker's metric shard."""
+
+    def __init__(self, store_directory: str | os.PathLike, worker_id: str) -> None:
+        self.worker_id = sanitize_writer_id(worker_id)
+        self.path = telemetry_dir(store_directory) / (
+            f"{SHARD_PREFIX}{self.worker_id}.jsonl"
+        )
+        self._seq = 0
+
+    def flush(self, recorder: MetricsRecorder) -> dict[str, Any]:
+        """Append the recorder's cumulative snapshot; returns the payload."""
+        self._seq += 1
+        payload = {
+            "worker": self.worker_id,
+            "seq": self._seq,
+            "wall_time": time.time(),
+            **recorder.snapshot(),
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+            handle.flush()
+        return payload
+
+
+def load_worker_snapshots(
+    store_directory: str | os.PathLike,
+) -> dict[str, dict[str, Any]]:
+    """Latest cumulative snapshot per worker, keyed by worker id.
+
+    Every ``metrics-*.jsonl`` shard is scanned and the highest-``seq`` line
+    wins (ties: the later line in file order).  Workers are returned in
+    sorted order, so two readers of the same files agree exactly.
+    """
+    directory = telemetry_dir(store_directory)
+    if not directory.is_dir():
+        return {}
+    latest: dict[str, dict[str, Any]] = {}
+    for path in sorted(directory.glob(f"{SHARD_PREFIX}*.jsonl")):
+        for payload in iter_jsonl_payloads(path):
+            worker = payload.get("worker")
+            if not isinstance(worker, str):
+                continue
+            current = latest.get(worker)
+            if current is None or int(payload.get("seq", 0)) >= int(
+                current.get("seq", 0)
+            ):
+                latest[worker] = payload
+    return {worker: latest[worker] for worker in sorted(latest)}
+
+
+def merge_snapshots(
+    snapshots: Mapping[str, Mapping[str, Any]],
+) -> dict[str, Any]:
+    """Fleet-wide totals across per-worker snapshots.
+
+    Counters sum; span statistics combine count/total/min/max.  The result
+    depends only on the multiset of inputs (addition over sorted keys), so
+    the merge is deterministic regardless of flush or read order.
+    """
+    counters: dict[str, float] = {}
+    spans: dict[str, SpanStats] = {}
+    for worker in sorted(snapshots):
+        snapshot = snapshots[worker]
+        for key in sorted(snapshot.get("counters", {})):
+            counters[key] = counters.get(key, 0) + snapshot["counters"][key]
+        for key in sorted(snapshot.get("spans", {})):
+            stats = SpanStats.from_dict(snapshot["spans"][key])
+            if key in spans:
+                spans[key].merge(stats)
+            else:
+                spans[key] = stats
+    return {
+        "counters": counters,
+        "spans": {key: spans[key].to_dict() for key in sorted(spans)},
+    }
