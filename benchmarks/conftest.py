@@ -70,5 +70,19 @@ def emit_bench_json(record: Mapping[str, Any]) -> None:
     suite produced them.  The record schema is documented in README.md
     ("Benchmark record schema"); keys are sorted so diffs between runs of
     the same benchmark align line-by-line.
+
+    Each record is also appended to ``benchmarks/history.jsonl`` keyed by
+    git SHA + bench id (best-effort; ``PERIGEE_BENCH_HISTORY=0`` disables),
+    giving the repo a perf trajectory that
+    ``python benchmarks/history.py check`` diffs in CI.
     """
     print("BENCH-JSON " + json.dumps(dict(record), sort_keys=True))
+    try:
+        try:
+            from benchmarks.history import append_record
+        except ImportError:  # benchmarks/ itself on sys.path (pytest rootdir)
+            from history import append_record
+
+        append_record(record)
+    except (ImportError, OSError):  # history is advisory, never break a bench
+        pass

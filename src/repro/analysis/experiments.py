@@ -31,7 +31,7 @@ the benchmark suite completes in minutes on a laptop; pass ``num_nodes=1000``
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
 from repro.config import SimulationConfig, default_config
@@ -155,6 +155,7 @@ def _execute_spec(
     progress: ProgressCallback | None = None,
     cluster: bool = False,
     run=run_task,
+    flight: bool = False,
 ):
     """Shared execution path: resolve store/executor, run the sweep.
 
@@ -163,8 +164,19 @@ def _execute_spec(
     published to ``<store>/cluster/`` where any number of external
     ``perigee-sim worker`` processes help drain them, with this process
     participating as one inline worker.
+
+    ``flight=True`` flags every task of the sweep for flight recording
+    (requires a store — that is where ``runs/`` artifacts live).
     """
     resolved_store = _resolve_store(store)
+    if flight:
+        if resolved_store is None:
+            raise ValueError(
+                "flight recording persists per-round artifacts into the "
+                "result store; pass store=/--store together with "
+                "flight/--flight-recorder"
+            )
+        spec = replace(spec, flight=True)
     if cluster:
         if resolved_store is None:
             raise ValueError(
@@ -204,6 +216,7 @@ def compare_protocols(
     executor=None,
     progress: ProgressCallback | None = None,
     cluster: bool = False,
+    flight: bool = False,
 ) -> ExperimentResult:
     """Run several protocols on shared populations and return their curves.
 
@@ -280,6 +293,7 @@ def compare_protocols(
         progress=progress,
         cluster=cluster,
         run=run,
+        flight=flight,
     )
     return records_to_result(records, name=experiment_name)
 
@@ -557,14 +571,23 @@ EXPERIMENT_SPECS = {
 
 
 def build_experiment_specs(name: str, **kwargs) -> list[SweepSpec]:
-    """Expand a named experiment into its sweep specs without running it."""
+    """Expand a named experiment into its sweep specs without running it.
+
+    ``flight=True`` is handled generically (the per-figure spec builders do
+    not know about recording): every produced spec asks executing workers to
+    flight-record its tasks.
+    """
+    flight = bool(kwargs.pop("flight", False))
     try:
         builder = EXPERIMENT_SPECS[name]
     except KeyError as error:
         raise KeyError(
             f"unknown experiment {name!r}; available: {', '.join(EXPERIMENT_SPECS)}"
         ) from error
-    return builder(**kwargs)
+    specs = builder(**kwargs)
+    if flight:
+        specs = [replace(spec, flight=True) for spec in specs]
+    return specs
 
 
 # --------------------------------------------------------------------------- #
@@ -581,13 +604,19 @@ def run_figure3a(
     store=None,
     progress: ProgressCallback | None = None,
     cluster: bool = False,
+    flight: bool = False,
 ) -> ExperimentResult:
     """Figure 3(a): uniform hash power, default delays."""
     spec = figure3a_spec(
         num_nodes, rounds, repeats, seed, blocks_per_round, protocols
     )
     records = _execute_spec(
-        spec, workers=workers, store=store, progress=progress, cluster=cluster
+        spec,
+        workers=workers,
+        store=store,
+        progress=progress,
+        cluster=cluster,
+        flight=flight,
     )
     return records_to_result(records, name=spec.name)
 
@@ -603,13 +632,19 @@ def run_figure3b(
     store=None,
     progress: ProgressCallback | None = None,
     cluster: bool = False,
+    flight: bool = False,
 ) -> ExperimentResult:
     """Figure 3(b): hash power drawn from an exponential distribution."""
     spec = figure3b_spec(
         num_nodes, rounds, repeats, seed, blocks_per_round, protocols
     )
     records = _execute_spec(
-        spec, workers=workers, store=store, progress=progress, cluster=cluster
+        spec,
+        workers=workers,
+        store=store,
+        progress=progress,
+        cluster=cluster,
+        flight=flight,
     )
     return records_to_result(records, name=spec.name)
 
@@ -626,6 +661,7 @@ def run_figure4a(
     store=None,
     progress: ProgressCallback | None = None,
     cluster: bool = False,
+    flight: bool = False,
 ) -> ProcessingDelaySweepResult:
     """Figure 4(a): sweep the block validation delay from 0.1x to 10x."""
     specs = figure4a_specs(
@@ -640,6 +676,7 @@ def run_figure4a(
             store=resolved_store,
             progress=progress,
             cluster=cluster,
+            flight=flight,
         )
         results[scale] = records_to_result(records, name=spec.name)
     return ProcessingDelaySweepResult(scales=tuple(scales), results=results)
@@ -657,13 +694,19 @@ def run_figure4b(
     store=None,
     progress: ProgressCallback | None = None,
     cluster: bool = False,
+    flight: bool = False,
 ) -> ExperimentResult:
     """Figure 4(b): 10% of nodes hold 90% of hash power, with fast links among them."""
     spec = figure4b_spec(
         num_nodes, rounds, repeats, seed, blocks_per_round, miner_speedup, protocols
     )
     records = _execute_spec(
-        spec, workers=workers, store=store, progress=progress, cluster=cluster
+        spec,
+        workers=workers,
+        store=store,
+        progress=progress,
+        cluster=cluster,
+        flight=flight,
     )
     return records_to_result(records, name=spec.name)
 
@@ -682,6 +725,7 @@ def run_figure4c(
     store=None,
     progress: ProgressCallback | None = None,
     cluster: bool = False,
+    flight: bool = False,
 ) -> ExperimentResult:
     """Figure 4(c): a bloXroute-like low-latency relay tree of 100 nodes."""
     spec = figure4c_spec(
@@ -696,7 +740,12 @@ def run_figure4c(
         protocols,
     )
     records = _execute_spec(
-        spec, workers=workers, store=store, progress=progress, cluster=cluster
+        spec,
+        workers=workers,
+        store=store,
+        progress=progress,
+        cluster=cluster,
+        flight=flight,
     )
     return records_to_result(records, name=spec.name)
 
@@ -711,11 +760,17 @@ def run_figure5(
     store=None,
     progress: ProgressCallback | None = None,
     cluster: bool = False,
+    flight: bool = False,
 ) -> ExperimentResult:
     """Figure 5: histograms of overlay edge latencies under uniform hash power."""
     spec = figure5_spec(num_nodes, rounds, seed, blocks_per_round, protocols)
     records = _execute_spec(
-        spec, workers=workers, store=store, progress=progress, cluster=cluster
+        spec,
+        workers=workers,
+        store=store,
+        progress=progress,
+        cluster=cluster,
+        flight=flight,
     )
     return records_to_result(records, name=spec.name)
 
@@ -734,6 +789,7 @@ def run_scaling(
     store=None,
     progress: ProgressCallback | None = None,
     cluster: bool = False,
+    flight: bool = False,
 ) -> NetworkScalingResult:
     """Scaling study: Perigee vs random across network sizes (large-N grid)."""
     specs = scaling_specs(
@@ -757,6 +813,7 @@ def run_scaling(
             store=resolved_store,
             progress=progress,
             cluster=cluster,
+            flight=flight,
         )
         size = spec.config.num_nodes
         ladder.append(size)

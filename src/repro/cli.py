@@ -40,6 +40,15 @@ Perigee-Subset vs random over a ladder of network sizes under the
 ``large-network`` scenario — the large-N grid the array-native observation
 pipeline was built for.
 
+Per-run observability: ``--flight-recorder`` (on experiment, ``submit`` and
+``worker`` subcommands) persists a per-round trace of every executed task
+under ``<store>/runs/<hash>/``, inspectable after (or during) the run::
+
+    perigee-sim figure3a --store runs/ --flight-recorder
+    perigee-sim inspect --store runs/              # list recorded runs
+    perigee-sim inspect --store runs/ <hash> [--json]
+    perigee-sim trace --out trace.json             # Perfetto span trace
+
 The CLI intentionally exposes only the experiment-level knobs (size, rounds,
 repeats, seed, workers, store); anything finer grained is available through
 the Python API.
@@ -142,6 +151,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="independent latency draws (ignored by figure5)",
     )
+    submit_parser.add_argument(
+        "--flight-recorder",
+        action="store_true",
+        help=(
+            "flag every queued task for flight recording: draining workers "
+            "persist per-round traces under <store>/runs/<hash>/"
+        ),
+    )
     _add_large_n_arguments(submit_parser)
 
     worker_parser = subparsers.add_parser(
@@ -190,6 +207,15 @@ def build_parser() -> argparse.ArgumentParser:
             "metric shard (telemetry/metrics-<id>.jsonl) after each task"
         ),
     )
+    worker_parser.add_argument(
+        "--flight-recorder",
+        action="store_true",
+        help=(
+            "flight-record every task this worker executes (tasks submitted "
+            "with --flight-recorder are recorded regardless); artifacts land "
+            "under <store>/runs/<hash>/"
+        ),
+    )
 
     status_parser = subparsers.add_parser(
         "status", help="show queue depth and worker liveness for a store"
@@ -232,6 +258,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="liveness horizon used for the worker-alive gauges",
     )
 
+    inspect_parser = subparsers.add_parser(
+        "inspect",
+        help=(
+            "inspect flight-recorded runs of a store: without a key, list "
+            "them; with a (prefix of a) task hash, print the per-run "
+            "convergence / rewire-churn / topology-drift report"
+        ),
+    )
+    inspect_parser.add_argument(
+        "--store", required=True, help="store directory holding runs/"
+    )
+    inspect_parser.add_argument(
+        "key",
+        nargs="?",
+        default=None,
+        help="task content hash (any unique prefix) of the run to inspect",
+    )
+    inspect_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the run list / report as JSON",
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help=(
+            "run one simulation with span tracing enabled and export a "
+            "Chrome-trace JSON loadable in chrome://tracing or Perfetto"
+        ),
+    )
+    trace_parser.add_argument(
+        "--out", required=True, help="output path for the trace JSON"
+    )
+    trace_parser.add_argument(
+        "--protocol",
+        default="perigee-subset",
+        help="protocol registry name to run (default perigee-subset)",
+    )
+    trace_parser.add_argument(
+        "--num-nodes", type=int, default=300, help="number of nodes"
+    )
+    trace_parser.add_argument(
+        "--rounds", type=int, default=5, help="protocol rounds to trace"
+    )
+    trace_parser.add_argument(
+        "--blocks", type=int, default=20, help="blocks mined per round"
+    )
+    trace_parser.add_argument("--seed", type=int, default=0, help="random seed")
+
     for name in EXPERIMENTS:
         experiment_parser = subparsers.add_parser(
             name, help=f"run the {name} experiment"
@@ -263,6 +338,15 @@ def build_parser() -> argparse.ArgumentParser:
                 "drain the grid through the store's distributed work queue "
                 "(requires --store); external 'perigee-sim worker' processes "
                 "sharing the store cooperate on the tasks"
+            ),
+        )
+        experiment_parser.add_argument(
+            "--flight-recorder",
+            action="store_true",
+            help=(
+                "persist a per-round flight-recorder trace of every task "
+                "under <store>/runs/<hash>/ (requires --store); inspect "
+                "with 'perigee-sim inspect'"
             ),
         )
         if name != "figure5":
@@ -393,6 +477,8 @@ def _spec_kwargs(args: argparse.Namespace) -> dict:
         evaluation = _evaluation_params(args)
         if evaluation:
             kwargs["evaluation"] = evaluation
+    if getattr(args, "flight_recorder", False):
+        kwargs["flight"] = True
     return kwargs
 
 
@@ -427,6 +513,7 @@ def _run_worker(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts,
         poll_interval=args.poll_interval,
         telemetry=args.telemetry,
+        flight=args.flight_recorder,
     )
     print(f"worker {worker.worker_id} draining {args.store}", file=sys.stderr)
 
@@ -491,6 +578,76 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_inspect(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry.flight import (
+        flight_report,
+        list_runs,
+        render_flight_report,
+        resolve_run_dir,
+        runs_dir,
+    )
+
+    store = ResultStore(args.store)
+    if args.key is None:
+        runs = list_runs(store.directory)
+        if args.json:
+            print(json.dumps(runs, sort_keys=True, indent=2))
+            return 0
+        if not runs:
+            print(f"no recorded runs under {runs_dir(store.directory)}")
+            return 0
+        for entry in runs:
+            state = "closed" if entry["closed"] else "open"
+            print(
+                f"{entry['key'][:12]}  {entry['experiment'] or '?'} / "
+                f"{entry['protocol'] or '?'}  repeat={entry['repeat']}  "
+                f"rounds={entry['rounds_recorded']}  ({state})"
+            )
+        return 0
+    try:
+        run_dir = resolve_run_dir(store.directory, args.key)
+        report = flight_report(run_dir)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report, sort_keys=True, indent=2))
+    else:
+        print(render_flight_report(report))
+    return 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.config import default_config
+    from repro.core.simulator import Simulator
+    from repro.protocols.registry import make_protocol
+    from repro.telemetry.chrome import write_chrome_trace
+    from repro.telemetry.recorder import MetricsRecorder, use_recorder
+
+    config = default_config(
+        num_nodes=args.num_nodes,
+        rounds=args.rounds,
+        blocks_per_round=args.blocks,
+        seed=args.seed,
+    )
+    simulator = Simulator(
+        config, make_protocol(args.protocol), rng=np.random.default_rng(config.seed)
+    )
+    recorder = MetricsRecorder(trace=True)
+    with use_recorder(recorder):
+        simulator.run(rounds=args.rounds)
+    count = write_chrome_trace(args.out, recorder.trace)
+    print(
+        f"wrote {count} span event(s) to {args.out}; load in "
+        "chrome://tracing or https://ui.perfetto.dev"
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -526,8 +683,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_status(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "inspect":
+        return _run_inspect(args)
+    if args.command == "trace":
+        return _run_trace(args)
     if args.cluster and args.store is None:
         parser.error("--cluster requires --store (the queue lives inside it)")
+    if args.flight_recorder and args.store is None:
+        parser.error(
+            "--flight-recorder requires --store (runs/ artifacts live inside it)"
+        )
     if args.cluster and args.workers > 1:
         parser.error(
             "--cluster and --workers are mutually exclusive; scale a cluster "
@@ -548,6 +713,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         evaluation = _evaluation_params(args)
         if evaluation:
             kwargs["evaluation"] = evaluation
+    if args.flight_recorder:
+        kwargs["flight"] = True
     if args.workers > 1 or args.store is not None:
         kwargs["progress"] = _progress_printer
     result = run_experiment(args.command, **kwargs)

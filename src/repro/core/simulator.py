@@ -32,6 +32,7 @@ from repro.latency.geo import GeographicLatencyModel
 from repro.latency.metric_space import MetricSpaceLatencyModel
 from repro.metrics.evaluator import DEFAULT_EVALUATOR, DelayEvaluator
 from repro.protocols.base import NeighborSelectionProtocol, ProtocolContext
+from repro.telemetry.flight import get_flight_recorder
 from repro.telemetry.recorder import get_recorder
 
 
@@ -274,8 +275,14 @@ class Simulator:
         ``round.evaluate``); with the default no-op recorder the spans cost
         one function call each and touch no RNG, so instrumented and
         uninstrumented runs are bit-identical.
+
+        When a flight recorder is installed
+        (:func:`repro.telemetry.flight.use_flight_recorder`) the finished
+        round is additionally handed to it — after all simulation work, so
+        recording only ever *reads* state and cannot perturb the run.
         """
         recorder = get_recorder()
+        flight = get_flight_recorder()
         with recorder.span("round.mine"):
             blocks = self.mine_blocks()
         with recorder.span("round.propagate"):
@@ -297,6 +304,9 @@ class Simulator:
                 p90 = float(np.percentile(finite, 90))
         recorder.incr("round.count")
         recorder.incr("round.blocks_mined", len(blocks))
+        if flight.enabled:
+            with recorder.span("round.flight"):
+                flight.on_round(self, round_index)
         return RoundResult(
             round_index=round_index,
             blocks=tuple(blocks),

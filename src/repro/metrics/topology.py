@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import connected_components
 
 from repro.core.network import P2PNetwork
 from repro.datasets.regions import intra_continental_threshold_ms
@@ -113,13 +115,34 @@ def topology_summary(
     latency: LatencyModel,
     regions: list[str] | None = None,
 ) -> dict[str, float]:
-    """Bundle of structural statistics used by reports and ablations."""
-    values = edge_latency_values(network, latency)
-    degrees = np.array(
-        [network.degree(node_id) for node_id in network.node_ids()], dtype=float
-    )
+    """Bundle of structural statistics used by reports and ablations.
+
+    Everything derives from a single edge-array extraction: degrees come
+    from a ``bincount`` over the unique undirected edge list (the number of
+    distinct communication neighbors, same as :meth:`P2PNetwork.degree`) and
+    connectivity from :func:`connected_components` on the sparse adjacency —
+    the flight recorder calls this every round, so the summary must not cost
+    more than a few edge-array passes.
+    """
+    edges = network.to_numpy_edges()
+    num_nodes = network.num_nodes
+    if edges.shape[0]:
+        values = latency.pairwise(edges[:, 0], edges[:, 1])
+        degrees = np.bincount(edges.ravel(), minlength=num_nodes).astype(float)
+        adjacency = csr_matrix(
+            (np.ones(edges.shape[0], dtype=np.int8), (edges[:, 0], edges[:, 1])),
+            shape=(num_nodes, num_nodes),
+        )
+        components = connected_components(
+            adjacency, directed=False, return_labels=False
+        )
+        connected = components == 1
+    else:
+        values = np.zeros(0, dtype=float)
+        degrees = np.zeros(num_nodes, dtype=float)
+        connected = num_nodes <= 1
     summary: dict[str, float] = {
-        "num_edges": float(network.num_edges()),
+        "num_edges": float(edges.shape[0]),
         "mean_degree": float(degrees.mean()) if degrees.size else float("nan"),
         "max_degree": float(degrees.max()) if degrees.size else float("nan"),
         "min_degree": float(degrees.min()) if degrees.size else float("nan"),
@@ -127,7 +150,7 @@ def topology_summary(
         "median_edge_latency_ms": (
             float(np.median(values)) if values.size else float("nan")
         ),
-        "connected": float(network.is_connected()),
+        "connected": float(connected),
     }
     if regions is not None:
         summary["intra_continental_fraction"] = intra_continental_fraction(

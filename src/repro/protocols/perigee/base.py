@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.network import P2PNetwork
 from repro.core.observations import (
     ObservationSet,
+    batched_percentile_scores,
     normalized_observation_provider,
 )
 from repro.protocols.base import (
@@ -37,6 +38,7 @@ from repro.protocols.base import (
     ProtocolContext,
     random_initial_topology,
 )
+from repro.telemetry.flight import get_flight_recorder
 from repro.telemetry.recorder import get_recorder
 
 
@@ -118,6 +120,17 @@ class PerigeeBase(NeighborSelectionProtocol):
             and type(self).select_retained is not PerigeeBase.select_retained
         )
         recorder = get_recorder()
+        # Flight-recorder capture is read-only bookkeeping: when enabled we
+        # note, per node, how many outgoing edges the rewire dropped/added
+        # (against the set replace_outgoing actually installed — a random
+        # redraw can re-add a dropped peer) and buffer the raw timestamp
+        # blocks, scored in one batched pass after the loop.  Nothing here
+        # touches the RNG.
+        flight = get_flight_recorder()
+        flight_nodes: list[int] = []
+        flight_dropped: list[int] = []
+        flight_added: list[int] = []
+        flight_blocks: list[np.ndarray] = []
         nodes_updated = 0
         neighbors_retained = 0
         with recorder.span("perigee.score"):
@@ -134,7 +147,11 @@ class PerigeeBase(NeighborSelectionProtocol):
                     continue
                 outgoing = network.outgoing_neighbors(node_id)
                 if not outgoing:
-                    network.fill_random_outgoing(node_id, rng)
+                    filled = network.fill_random_outgoing(node_id, rng)
+                    if flight.enabled:
+                        flight_nodes.append(node_id)
+                        flight_dropped.append(0)
+                        flight_added.append(len(filled))
                     continue
                 if legacy_only:
                     node_observations = observations.get(node_id)
@@ -152,6 +169,8 @@ class PerigeeBase(NeighborSelectionProtocol):
                         sorted(outgoing), dtype=np.int64, count=len(outgoing)
                     )
                     times = provider(node_id, neighbors)
+                    if flight.enabled:
+                        flight_blocks.append(times)
                     retained = self.select_retained_block(
                         node_id=node_id,
                         neighbors=neighbors,
@@ -163,14 +182,24 @@ class PerigeeBase(NeighborSelectionProtocol):
                 self.on_neighbors_dropped(node_id, set(outgoing) - retained)
                 nodes_updated += 1
                 neighbors_retained += len(retained)
-                network.replace_outgoing(
+                resulting = network.replace_outgoing(
                     node_id,
                     retained,
                     rng,
                     num_random=network.out_degree - len(retained),
                 )
+                if flight.enabled:
+                    flight_nodes.append(node_id)
+                    flight_dropped.append(len(outgoing - resulting))
+                    flight_added.append(len(resulting - outgoing))
         recorder.incr("perigee.nodes_updated", nodes_updated)
         recorder.incr("perigee.neighbors_retained", neighbors_retained)
+        if flight.enabled:
+            flight.record_rewires(flight_nodes, flight_dropped, flight_added)
+            if flight_blocks:
+                flight.record_scores(
+                    batched_percentile_scores(flight_blocks, self._percentile)
+                )
 
     def select_retained_block(
         self,

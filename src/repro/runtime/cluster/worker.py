@@ -15,6 +15,7 @@ task becomes immediately claimable again instead of waiting out the TTL.
 
 from __future__ import annotations
 
+import functools
 import os
 import threading
 import time
@@ -70,6 +71,12 @@ class Worker:
         completed task and on exit, so ``perigee-sim serve`` can read the
         fleet's counters mid-drain.  Off by default: the null recorder
         keeps instrumented code paths bit-identical and near-free.
+    flight:
+        When true, flight-record *every* task this worker executes (what
+        ``perigee-sim worker --flight-recorder`` sets).  Independently of
+        this flag, tasks that were submitted with ``flight=True`` carry the
+        request in their queue JSON and are recorded anyway — artifacts land
+        under ``<store>/runs/<hash>/``.
     """
 
     def __init__(
@@ -81,6 +88,7 @@ class Worker:
         poll_interval: float = 1.0,
         run: RunFunction = run_task,
         telemetry: bool = False,
+        flight: bool = False,
     ) -> None:
         if poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
@@ -95,6 +103,17 @@ class Worker:
             self.store, lease_ttl=lease_ttl, max_attempts=max_attempts
         )
         self.poll_interval = float(poll_interval)
+        self.flight = bool(flight)
+        # The default run function gains this store as the flight-artifact
+        # root so task-level `flight` flags (and the worker override) take
+        # effect.  Custom run functions — including partials execute_sweep
+        # already bound to a store — pass through untouched.
+        if run is run_task:
+            run = functools.partial(
+                run_task,
+                flight_store=self.store.directory,
+                force_flight=self.flight,
+            )
         self.run_function = run
         self.telemetry = bool(telemetry)
 

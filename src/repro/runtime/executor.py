@@ -13,6 +13,8 @@ the aggregation layer decides how to surface failures.
 
 from __future__ import annotations
 
+import contextlib
+import functools
 import os
 import time
 import traceback
@@ -28,6 +30,11 @@ from repro.protocols.registry import make_protocol
 from repro.runtime.scenarios import Scenario, get_scenario
 from repro.runtime.store import ResultStore
 from repro.runtime.tasks import SweepSpec, Task, TaskRecord
+from repro.telemetry.flight import (
+    FlightRecorder,
+    flight_run_dir,
+    use_flight_recorder,
+)
 from repro.telemetry.recorder import get_recorder
 
 #: ``progress(done, total, record)`` — called after every completed task.
@@ -48,7 +55,12 @@ def _histogram_payload(histogram) -> dict:
     }
 
 
-def run_task(task: Task, scenario: Scenario | None = None) -> TaskRecord:
+def run_task(
+    task: Task,
+    scenario: Scenario | None = None,
+    flight_store: str | os.PathLike | None = None,
+    force_flight: bool = False,
+) -> TaskRecord:
     """Execute one task and return its record (never raises).
 
     Parameters
@@ -60,12 +72,31 @@ def run_task(task: Task, scenario: Scenario | None = None) -> TaskRecord:
         resolved through the registry (which is what worker processes do).
         Passing an explicit scenario supports legacy closure-based builders
         on the serial path.
+    flight_store:
+        Store directory under which flight-recorder artifacts land
+        (``<flight_store>/runs/<hash>/``).  Recording happens only when this
+        is set *and* the task asks for it (``task.flight``, or
+        ``force_flight`` from a ``worker --flight-recorder`` override);
+        recording never changes the returned record.
+    force_flight:
+        Flight-record even when ``task.flight`` is unset.
     """
     start = time.perf_counter()
     key = task.content_hash()
     recorder = get_recorder()
+    flight: FlightRecorder | None = None
     try:
-        with recorder.span(
+        if (task.flight or force_flight) and flight_store is not None:
+            flight = FlightRecorder(
+                flight_run_dir(flight_store, key),
+                meta={"key": key, "task": task.to_dict()},
+            )
+        scope = (
+            use_flight_recorder(flight)
+            if flight is not None
+            else contextlib.nullcontext()
+        )
+        with scope, recorder.span(
             "task.run", protocol=task.protocol, experiment=task.experiment
         ):
             config = task.config
@@ -100,6 +131,8 @@ def run_task(task: Task, scenario: Scenario | None = None) -> TaskRecord:
             )
             reach90 = evaluation.reach(config.hash_power_target)
             reach50 = evaluation.reach(0.5)
+            if flight is not None:
+                flight.record_final(reach90=reach90, reach50=reach50)
             histogram = None
             if task.collect_histogram:
                 histogram = _histogram_payload(
@@ -127,6 +160,11 @@ def run_task(task: Task, scenario: Scenario | None = None) -> TaskRecord:
             error=f"{type(error).__name__}: {error}\n{traceback.format_exc()}",
             duration_s=time.perf_counter() - start,
         )
+    finally:
+        # Close even on failure: the incremental rounds.jsonl prefix plus a
+        # summary make a crashed run inspectable.
+        if flight is not None:
+            flight.close()
 
 
 def _failure_record(task: Task, error: BaseException) -> TaskRecord:
@@ -284,8 +322,18 @@ def execute_sweep(
     (marked ``cached=True``), and newly produced records — including
     failures — are appended.  Interrupting and re-running with the same
     store therefore completes only the missing tasks.
+
+    Flight recording: with a store attached, the default run function gains
+    the store directory as its artifact root, so tasks flagged
+    ``flight=True`` (``SweepSpec(flight=True)`` / ``--flight-recorder``)
+    persist per-round traces under ``<store>/runs/``.  The partial is
+    picklable and flows unchanged through the parallel and cluster
+    executors.  Note that cached tasks are served from the store without
+    re-executing, so they produce no fresh artifact.
     """
     executor = executor if executor is not None else SerialExecutor()
+    if store is not None and run is run_task:
+        run = functools.partial(run_task, flight_store=store.directory)
     tasks = spec.expand()
     cached: dict[str, TaskRecord] = {}
     if store is not None:

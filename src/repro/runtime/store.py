@@ -163,6 +163,16 @@ class ResultStore:
         """
         return self._directory / "telemetry"
 
+    @property
+    def runs_dir(self) -> Path:
+        """Directory of flight-recorder run artifacts (``runs/<hash>/``).
+
+        Written by workers executing tasks flagged ``flight=True``; read by
+        ``perigee-sim inspect`` and the ``/runs`` endpoints (see
+        :mod:`repro.telemetry.flight`).
+        """
+        return self._directory / "runs"
+
     def shard_paths(self) -> list[Path]:
         """Every results file readers merge: shared file first, then shards."""
         paths = []

@@ -92,6 +92,13 @@ class Task:
         default (``"{}"``) means the default evaluation policy; only
         non-default parameters enter the content hash, so pre-existing task
         hashes — and therefore stored results — remain valid.
+    flight:
+        Whether the executing worker should attach a flight recorder
+        (:mod:`repro.telemetry.flight`) and persist a per-round trace under
+        ``<store>/runs/<hash>/``.  Recording is observation-only and
+        bit-identical, so this flag is deliberately **excluded** from the
+        content hash: a recorded and an unrecorded run produce the same
+        record, and cached results stay valid either way.
     """
 
     experiment: str
@@ -103,6 +110,7 @@ class Task:
     params_json: str = "{}"
     collect_histogram: bool = False
     evaluation_json: str = "{}"
+    flight: bool = False
 
     @property
     def config(self) -> SimulationConfig:
@@ -165,6 +173,7 @@ class Task:
             "params": json.loads(self.params_json),
             "collect_histogram": self.collect_histogram,
             "evaluation": json.loads(self.evaluation_json),
+            "flight": self.flight,
         }
 
     @classmethod
@@ -179,6 +188,7 @@ class Task:
             params_json=canonical_json(data.get("params", {})),
             collect_histogram=bool(data.get("collect_histogram", False)),
             evaluation_json=canonical_json(data.get("evaluation", {})),
+            flight=bool(data.get("flight", False)),
         )
 
 
@@ -268,6 +278,9 @@ class SweepSpec:
         Delay-evaluation parameters forwarded to every task (see
         :class:`repro.metrics.evaluator.DelayEvaluator.from_params`); empty
         means the default policy and leaves task hashes untouched.
+    flight:
+        Ask executing workers to flight-record every task of the sweep
+        (hash-neutral; see :attr:`Task.flight`).
     """
 
     name: str
@@ -279,6 +292,7 @@ class SweepSpec:
     scenario_params: Mapping[str, Any] = field(default_factory=dict)
     collect_histograms: bool = False
     evaluation: Mapping[str, Any] = field(default_factory=dict)
+    flight: bool = False
 
     def __post_init__(self) -> None:
         if not self.protocols:
@@ -316,6 +330,7 @@ class SweepSpec:
                     params_json=params_json,
                     collect_histogram=self.collect_histograms and repeat == 0,
                     evaluation_json=evaluation_json,
+                    flight=self.flight,
                 )
 
     def to_dict(self) -> dict[str, Any]:
@@ -330,6 +345,7 @@ class SweepSpec:
             "scenario_params": dict(self.scenario_params),
             "collect_histograms": self.collect_histograms,
             "evaluation": dict(self.evaluation),
+            "flight": self.flight,
         }
 
     @classmethod
@@ -344,4 +360,5 @@ class SweepSpec:
             scenario_params=dict(data.get("scenario_params", {})),
             collect_histograms=bool(data.get("collect_histograms", False)),
             evaluation=dict(data.get("evaluation", {})),
+            flight=bool(data.get("flight", False)),
         )

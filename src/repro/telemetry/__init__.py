@@ -12,6 +12,11 @@ The subsystem has four layers, each importable on its own:
   text / Prometheus renderings.
 * :mod:`repro.telemetry.serve` — the stdlib HTTP server behind
   ``perigee-sim serve``.
+* :mod:`repro.telemetry.flight` — the per-run flight recorder behind
+  ``--flight-recorder`` / ``perigee-sim inspect`` (per-round rewire,
+  score, topology, and delay traces under ``<store>/runs/``).
+* :mod:`repro.telemetry.chrome` — Chrome-trace (Perfetto) export of
+  ``MetricsRecorder(trace=True)`` span streams.
 
 Typical enablement (what ``perigee-sim worker --telemetry`` does)::
 
@@ -51,6 +56,22 @@ _LAZY = {
     "prometheus_text": "repro.telemetry.fleet",
     "build_server": "repro.telemetry.serve",
     "serve_forever": "repro.telemetry.serve",
+    "NULL_FLIGHT_RECORDER": "repro.telemetry.flight",
+    "RUNS_DIRNAME": "repro.telemetry.flight",
+    "FlightRecorder": "repro.telemetry.flight",
+    "NullFlightRecorder": "repro.telemetry.flight",
+    "flight_report": "repro.telemetry.flight",
+    "flight_run_dir": "repro.telemetry.flight",
+    "get_flight_recorder": "repro.telemetry.flight",
+    "list_runs": "repro.telemetry.flight",
+    "load_run": "repro.telemetry.flight",
+    "render_flight_report": "repro.telemetry.flight",
+    "resolve_run_dir": "repro.telemetry.flight",
+    "set_flight_recorder": "repro.telemetry.flight",
+    "use_flight_recorder": "repro.telemetry.flight",
+    "chrome_trace_events": "repro.telemetry.chrome",
+    "chrome_trace_payload": "repro.telemetry.chrome",
+    "write_chrome_trace": "repro.telemetry.chrome",
 }
 
 
@@ -85,4 +106,20 @@ __all__ = [
     "prometheus_text",
     "build_server",
     "serve_forever",
+    "NULL_FLIGHT_RECORDER",
+    "RUNS_DIRNAME",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "flight_report",
+    "flight_run_dir",
+    "get_flight_recorder",
+    "list_runs",
+    "load_run",
+    "render_flight_report",
+    "resolve_run_dir",
+    "set_flight_recorder",
+    "use_flight_recorder",
+    "chrome_trace_events",
+    "chrome_trace_payload",
+    "write_chrome_trace",
 ]

@@ -1,0 +1,89 @@
+"""Chrome-trace (Perfetto-loadable) export of recorder span streams.
+
+:class:`~repro.telemetry.recorder.MetricsRecorder` built with ``trace=True``
+keeps every completed span as an ordered
+:class:`~repro.telemetry.recorder.TraceEvent`.  This module converts that
+stream into the Chrome Trace Event Format — *complete* events (``"ph": "X"``)
+with microsecond ``ts``/``dur`` — which ``chrome://tracing`` and
+https://ui.perfetto.dev load directly, giving a zoomable flame chart of a
+simulation's round loop for free.
+
+The export is deliberately strict: timestamps are normalised so the first
+span starts at ``ts=0``, events are ordered so per-thread timestamps are
+monotone and enclosing spans precede their children, and the JSON is written
+with ``allow_nan=False`` so the artifact never contains the non-standard
+``NaN``/``Infinity`` tokens some viewers reject.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.telemetry.recorder import TraceEvent
+
+_MICROSECONDS = 1e6
+
+
+def chrome_trace_events(
+    events: Iterable[TraceEvent],
+    pid: int = 1,
+    tid: int = 1,
+) -> list[dict[str, Any]]:
+    """Convert recorder spans to Chrome *complete* events.
+
+    All events land on one ``pid``/``tid`` lane (the recorder's trace list
+    is a single stream); ``ts`` is rebased so the earliest span starts at 0.
+    Events are sorted by ``(ts, -dur)``: timestamps are monotone within the
+    thread, and of two spans starting together the enclosing (longer) one
+    comes first, which is how trace viewers infer nesting for "X" events.
+    """
+    events = list(events)
+    origin = min((event.start_s for event in events), default=0.0)
+    rows = [
+        {
+            "name": event.name,
+            "cat": "span",
+            "ph": "X",
+            "ts": (event.start_s - origin) * _MICROSECONDS,
+            "dur": event.duration_s * _MICROSECONDS,
+            "pid": int(pid),
+            "tid": int(tid),
+            "args": {"depth": int(event.depth)},
+        }
+        for event in events
+    ]
+    rows.sort(key=lambda row: (row["ts"], -row["dur"]))
+    return rows
+
+
+def chrome_trace_payload(
+    events: Iterable[TraceEvent],
+    pid: int = 1,
+    tid: int = 1,
+) -> dict[str, Any]:
+    """The full JSON-object-format payload (``{"traceEvents": [...]}``)."""
+    return {
+        "traceEvents": chrome_trace_events(events, pid=pid, tid=tid),
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(
+    path: str | os.PathLike,
+    events: Iterable[TraceEvent],
+    pid: int = 1,
+    tid: int = 1,
+) -> int:
+    """Write the trace JSON to ``path``; returns the number of events."""
+    payload = chrome_trace_payload(events, pid=pid, tid=tid)
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, sort_keys=True, allow_nan=False),
+        encoding="utf-8",
+    )
+    return len(payload["traceEvents"])

@@ -16,16 +16,27 @@ Endpoints
   ``perigee-sim status --json``).
 * ``GET /metrics`` — Prometheus text exposition (version 0.0.4).
 * ``GET /healthz`` — liveness probe (``ok``).
+* ``GET /runs`` — flight-recorded runs of the store (JSON list, same
+  entries as ``perigee-sim inspect --json``).
+* ``GET /runs/<hash>`` — one run's inspect report (any unique hash prefix).
+
+The CLI entry point (:func:`serve_forever`) additionally installs SIGTERM /
+SIGINT handlers for a graceful shutdown: in-flight requests finish, the
+socket closes, and the process exits 0 — what the serve-smoke CI job and
+containerised deployments rely on.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import signal
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.runtime.store import ResultStore
 from repro.telemetry.fleet import fleet_status, prometheus_text
+from repro.telemetry.flight import flight_report, list_runs, resolve_run_dir
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
@@ -67,6 +78,24 @@ def build_server(
                     payload = fleet_status(store, lease_ttl=lease_ttl)
                     body = prometheus_text(payload).encode("utf-8")
                     self._respond(200, PROMETHEUS_CONTENT_TYPE, body)
+                elif path in ("/runs", "/runs/"):
+                    body = json.dumps(
+                        list_runs(store.directory), sort_keys=True
+                    ).encode("utf-8")
+                    self._respond(200, "application/json; charset=utf-8", body)
+                elif path.startswith("/runs/"):
+                    key = path[len("/runs/"):].rstrip("/")
+                    try:
+                        report = flight_report(
+                            resolve_run_dir(store.directory, key)
+                        )
+                    except (FileNotFoundError, ValueError):
+                        self._respond(
+                            404, "text/plain; charset=utf-8", b"no such run\n"
+                        )
+                        return
+                    body = json.dumps(report, sort_keys=True).encode("utf-8")
+                    self._respond(200, "application/json; charset=utf-8", body)
                 elif path in ("/", "/healthz"):
                     self._respond(200, "text/plain; charset=utf-8", b"ok\n")
                 else:
@@ -93,14 +122,33 @@ def serve_forever(
     port: int = 8321,
     lease_ttl: float = 60.0,
 ) -> None:
-    """Blocking entry point used by the CLI subcommand."""
+    """Blocking entry point used by the CLI subcommand.
+
+    Returns normally on SIGTERM / SIGINT: ``server.shutdown()`` must be
+    called from a *different* thread than the one blocked in
+    ``serve_forever`` (calling it inline deadlocks), so the signal handler
+    hands the call to a short-lived daemon thread.  Previous handlers are
+    restored on exit so embedding callers keep their own behaviour.
+    """
     server = build_server(store, host=host, port=port, lease_ttl=lease_ttl)
     bound_host, bound_port = server.server_address[:2]
     print(
         f"serving fleet telemetry on http://{bound_host}:{bound_port} "
-        "(/status, /metrics)"
+        "(/status, /metrics, /runs)"
     )
+
+    def request_shutdown(signum: int, frame: object) -> None:
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous_handlers = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous_handlers[signum] = signal.signal(signum, request_shutdown)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
     try:
         server.serve_forever()
     finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
         server.server_close()

@@ -66,6 +66,24 @@ class TestEdgeLatencyHistogram:
         with pytest.raises(ValueError):
             edge_latency_histogram(small_network, latency, "x", num_bins=0)
 
+    def test_degenerate_identical_latencies(self, small_network):
+        uniform = MatrixLatencyModel.constant(6, 42.0)
+        histogram = edge_latency_histogram(
+            small_network, uniform, "uniform", num_bins=4
+        )
+        # All values sit on the top bin edge; nothing may fall off the range.
+        assert histogram.num_edges == small_network.num_edges()
+        assert histogram.mean_ms == pytest.approx(42.0)
+        assert histogram.median_ms == pytest.approx(42.0)
+
+    def test_zero_max_latency_clamped(self, small_network, latency):
+        # A non-positive range request must not crash np.histogram.
+        histogram = edge_latency_histogram(
+            small_network, latency, "clamped", num_bins=3, max_latency_ms=0.0
+        )
+        assert histogram.bin_edges_ms[-1] > 0.0
+        assert histogram.counts.shape == (3,)
+
     def test_low_mode_fraction_uses_regional_threshold(self, small_network):
         cheap = MatrixLatencyModel.constant(6, 10.0)
         expensive = MatrixLatencyModel.constant(6, 300.0)
@@ -98,6 +116,46 @@ class TestStructuralSummaries:
         assert "intra_continental_fraction" in summary
         assert "low_latency_edge_fraction" in summary
 
+    def test_topology_summary_empty_network(self, latency):
+        network = P2PNetwork(num_nodes=6, out_degree=2, max_incoming=3)
+        summary = topology_summary(network, latency)
+        assert summary["num_edges"] == 0.0
+        assert summary["connected"] == 0.0
+        assert summary["mean_degree"] == 0.0
+        assert summary["max_degree"] == 0.0
+        assert np.isnan(summary["mean_edge_latency_ms"])
+        assert np.isnan(summary["median_edge_latency_ms"])
+        assert np.isnan(summary["low_latency_edge_fraction"])
+
+    def test_topology_summary_minimal_pair(self):
+        network = P2PNetwork(num_nodes=2, out_degree=1, max_incoming=1)
+        network.connect(0, 1)
+        summary = topology_summary(network, MatrixLatencyModel.constant(2, 5.0))
+        assert summary["num_edges"] == 1.0
+        assert summary["connected"] == 1.0
+        assert summary["mean_degree"] == pytest.approx(1.0)
+        assert summary["mean_edge_latency_ms"] == pytest.approx(5.0)
+
+    def test_topology_summary_detects_disconnection(self, latency):
+        network = P2PNetwork(num_nodes=6, out_degree=2, max_incoming=3)
+        network.connect(0, 1)
+        network.connect(2, 3)  # two components, nodes 4/5 isolated
+        summary = topology_summary(network, latency)
+        assert summary["num_edges"] == 2.0
+        assert summary["connected"] == 0.0
+
+    def test_topology_summary_degrees_match_network(self, small_network, latency):
+        # The bincount fast path must agree with the per-node degree method.
+        summary = topology_summary(small_network, latency)
+        degrees = [
+            small_network.degree(node) for node in small_network.node_ids()
+        ]
+        assert summary["mean_degree"] == pytest.approx(np.mean(degrees))
+        assert summary["max_degree"] == max(degrees)
+        assert summary["min_degree"] == min(degrees)
+        assert summary["connected"] == float(small_network.is_connected())
+        assert summary["num_edges"] == float(small_network.num_edges())
+
 
 class TestConvergenceReport:
     def test_report_from_trajectory(self):
@@ -126,3 +184,34 @@ class TestConvergenceReport:
     def test_mismatched_lengths_rejected(self):
         with pytest.raises(ValueError):
             ConvergenceReport(rounds=(0, 1), values_ms=(1.0,))
+
+    def test_rounds_to_within_non_monotone_series(self):
+        # The paper's p50 series need not be monotone: settling means the
+        # *first* round within the band of the final value, even when the
+        # trajectory later leaves and re-enters it.
+        report = convergence_report(
+            [(0, 100.0), (1, 69.0), (2, 90.0), (3, 70.0)]
+        )
+        assert report.rounds_to_within(0.05) == 1
+        assert report.rounds_to_within(0.0) == 3
+
+    def test_rounds_to_within_unsettleable_series(self):
+        # A non-positive or non-finite final value has no relative band.
+        assert convergence_report(
+            [(0, 100.0), (1, 0.0)]
+        ).rounds_to_within(0.05) is None
+        assert convergence_report(
+            [(0, 100.0), (1, float("nan"))]
+        ).rounds_to_within(0.05) is None
+        assert convergence_report(
+            [(0, float("inf")), (1, 80.0), (2, 80.0)]
+        ).rounds_to_within(0.05) == 1
+
+    def test_is_improving_tolerance_boundaries(self):
+        report = convergence_report([(0, 100.0), (1, 80.0)])
+        # Exactly on the boundary counts as improving (<=).
+        assert report.is_improving(tolerance=0.2)
+        assert not report.is_improving(tolerance=0.2000001)
+        flat = convergence_report([(0, 50.0), (1, 50.0)])
+        assert flat.is_improving(tolerance=0.0)
+        assert not flat.is_improving(tolerance=0.01)

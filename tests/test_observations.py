@@ -4,11 +4,15 @@ import math
 
 import pytest
 
+import numpy as np
+
 from repro.core.observations import (
     NEVER,
     Observation,
     ObservationSet,
+    batched_percentile_scores,
     percentile_score,
+    percentile_scores,
 )
 
 
@@ -141,3 +145,25 @@ class TestPercentileScore:
     def test_invalid_percentile_rejected(self):
         with pytest.raises(ValueError):
             percentile_score([1.0], 150.0)
+
+
+class TestBatchedPercentileScores:
+    def test_matches_per_block_calls(self):
+        rng = np.random.default_rng(7)
+        blocks = []
+        for rows, cols in [(4, 6), (3, 6), (5, 2), (4, 6), (1, 0)]:
+            block = rng.random((rows, cols)) * 100.0
+            block[block > 80.0] = NEVER
+            blocks.append(block)
+        batched = batched_percentile_scores(blocks, 90.0)
+        reference = np.concatenate(
+            [percentile_scores(block, 90.0) for block in blocks]
+        )
+        assert np.array_equal(batched, reference)  # bit-identical, NaN-free
+
+    def test_empty_block_list(self):
+        assert batched_percentile_scores([]).shape == (0,)
+
+    def test_rejects_non_2d_blocks(self):
+        with pytest.raises(ValueError):
+            batched_percentile_scores([np.zeros(3)])
