@@ -395,6 +395,27 @@ def _add_large_n_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="sources drawn in sampled mode (default 512)",
     )
+    parser.add_argument(
+        "--eval-workers",
+        type=int,
+        default=None,
+        help=(
+            "process-parallel Dijkstra workers for exact (chunked) "
+            "evaluation; results are bit-identical to the serial path "
+            "(default 1)"
+        ),
+    )
+    parser.add_argument(
+        "--eval-target-se",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "adaptive sampled mode: grow the sample (in --eval-samples "
+            "batches, same deterministic stream) until every target's "
+            "standard error is at most this many milliseconds"
+        ),
+    )
 
 
 def _evaluation_params(args: argparse.Namespace) -> dict:
@@ -406,6 +427,10 @@ def _evaluation_params(args: argparse.Namespace) -> dict:
         params["exact_threshold"] = args.eval_threshold
     if getattr(args, "eval_samples", None) is not None:
         params["sample_size"] = args.eval_samples
+    if getattr(args, "eval_workers", None) is not None:
+        params["workers"] = args.eval_workers
+    if getattr(args, "eval_target_se", None) is not None:
+        params["target_se_ms"] = args.eval_target_se
     return params
 
 

@@ -106,6 +106,11 @@ class Simulator:
         Optional :class:`~repro.metrics.evaluator.DelayEvaluator` policy for
         :meth:`evaluate`.  The default is exact (chunked) at paper scale and
         switches to hash-power-weighted source sampling at large N.
+    incremental_engine:
+        Overrides the propagation engine's incremental graph/SSSP caches
+        (default: on unless ``PERIGEE_INCREMENTAL_ENGINE=0``).  Results are
+        bit-identical either way; the switch only trades memory for round
+        cost.
     """
 
     def __init__(
@@ -116,6 +121,7 @@ class Simulator:
         latency: LatencyModel | None = None,
         rng: np.random.Generator | None = None,
         delay_evaluator: DelayEvaluator | None = None,
+        incremental_engine: bool | None = None,
     ) -> None:
         self._config = config
         self._protocol = protocol
@@ -136,7 +142,9 @@ class Simulator:
         if self._latency.num_nodes != config.num_nodes:
             raise ValueError("latency model size must match config.num_nodes")
         self._engine = PropagationEngine(
-            self._latency, self._population.validation_delays
+            self._latency,
+            self._population.validation_delays,
+            incremental=incremental_engine,
         )
         self._context = ProtocolContext(
             config=config, nodes=self._population.nodes, latency=self._latency

@@ -15,13 +15,22 @@ ways the evaluation derives those constants:
 from repro.latency.base import LatencyModel, MatrixLatencyModel
 from repro.latency.geo import GeographicLatencyModel
 from repro.latency.metric_space import MetricSpaceLatencyModel
-from repro.latency.relay import RelayNetworkOverlay, apply_relay_overlay
+from repro.latency.relay import (
+    MinerSpeedupLatencyModel,
+    RelayNetworkOverlay,
+    RelayOverlayLatencyModel,
+    apply_miner_speedup,
+    apply_relay_overlay,
+)
 
 __all__ = [
     "GeographicLatencyModel",
     "LatencyModel",
     "MatrixLatencyModel",
     "MetricSpaceLatencyModel",
+    "MinerSpeedupLatencyModel",
     "RelayNetworkOverlay",
+    "RelayOverlayLatencyModel",
+    "apply_miner_speedup",
     "apply_relay_overlay",
 ]

@@ -7,11 +7,18 @@ The paper simulates bloXroute/Falcon/FIBRE-style relay networks in two ways:
 * adding a dedicated low-latency relay overlay of 100 nodes organised as a
   tree, whose members also validate blocks 10x faster (Figure 4(c)).
 
-This module implements both transformations on top of an existing latency
-matrix, returning a :class:`repro.latency.base.MatrixLatencyModel` so the
-propagation engines and protocols are oblivious to the overlay's presence —
-exactly the property the paper highlights (Perigee adapts to exploit relay
-networks without being told about them).
+This module implements both transformations as *composition-aware wrappers*
+around an existing latency model: the wrapper answers ``pairwise(u, v)`` by
+gathering the base model's values and applying the overlay edit to the masked
+pairs, so no dense ``N x N`` matrix is ever materialised on the hot path.
+The propagation engines and protocols stay oblivious to the overlay's
+presence — exactly the property the paper highlights (Perigee adapts to
+exploit relay networks without being told about them) — and because the
+engine consumes latencies exclusively through ``pairwise``, the scenarios
+composed this way run at 20k+ nodes over the O(N)-memory backends.
+``as_matrix`` still produces the dense composed matrix on demand, applying
+the exact operations the old matrix-copy implementation used, so analyses
+that need all pairs see bit-identical values.
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.latency.base import LatencyModel, MatrixLatencyModel
+from repro.latency.base import LatencyModel
 
 #: Default number of relay nodes (Section 5.4 uses 100).
 DEFAULT_RELAY_SIZE = 100
@@ -105,31 +112,191 @@ def build_relay_tree(
     )
 
 
+class RelayOverlayLatencyModel(LatencyModel):
+    """Relay-overlay edits composed over a base model, pair by pair.
+
+    The composed latency is ``min(base, link_latency_ms [tree-adjacent],
+    member_pair_latency_ms [both members])`` — elementwise minima commute,
+    so gathering pairs on demand yields the same values the dense rewrite
+    produced.  Tree-edge membership is resolved with a sorted-key
+    ``searchsorted`` lookup, keeping ``pairwise`` a handful of vectorised
+    passes over the queried pairs only.
+    """
+
+    def __init__(
+        self,
+        base: LatencyModel,
+        overlay: RelayNetworkOverlay,
+        member_pair_latency_ms: float | None = None,
+    ) -> None:
+        if member_pair_latency_ms is not None and member_pair_latency_ms <= 0:
+            raise ValueError("member_pair_latency_ms must be positive")
+        n = base.num_nodes
+        members = np.asarray(overlay.members, dtype=np.int64)
+        if members.size and (members.min() < 0 or members.max() >= n):
+            raise ValueError("overlay members out of range for the base model")
+        self._base = base
+        self._overlay = overlay
+        self._member_pair_ms = member_pair_latency_ms
+        self._is_member = np.zeros(n, dtype=bool)
+        self._is_member[members] = True
+        edges = overlay.edges()
+        if edges:
+            pairs = np.asarray(edges, dtype=np.int64)
+            if pairs.min() < 0 or pairs.max() >= n:
+                raise ValueError("overlay tree edges out of range")
+            lo = np.minimum(pairs[:, 0], pairs[:, 1])
+            hi = np.maximum(pairs[:, 0], pairs[:, 1])
+            self._tree_keys = np.unique(lo * n + hi)
+        else:
+            self._tree_keys = np.zeros(0, dtype=np.int64)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._base.num_nodes
+
+    @property
+    def base(self) -> LatencyModel:
+        return self._base
+
+    @property
+    def overlay(self) -> RelayNetworkOverlay:
+        return self._overlay
+
+    def latency(self, u: int, v: int) -> float:
+        value = float(self._base.latency(u, v))
+        if u == v:
+            return value
+        if self._member_pair_ms is not None and (
+            self._is_member[u] and self._is_member[v]
+        ):
+            value = min(value, self._member_pair_ms)
+        n = self.num_nodes
+        key = (u * n + v) if u < v else (v * n + u)
+        pos = int(np.searchsorted(self._tree_keys, key))
+        if pos < self._tree_keys.size and self._tree_keys[pos] == key:
+            value = min(value, self._overlay.link_latency_ms)
+        return value
+
+    def pairwise(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        delta = np.array(self._base.pairwise(u, v), dtype=float)
+        if self._member_pair_ms is not None:
+            both = self._is_member[u] & self._is_member[v] & (u != v)
+            delta[both] = np.minimum(delta[both], self._member_pair_ms)
+        if self._tree_keys.size:
+            n = self.num_nodes
+            keys = np.minimum(u, v) * n + np.maximum(u, v)
+            pos = np.searchsorted(self._tree_keys, keys)
+            clipped = np.minimum(pos, self._tree_keys.size - 1)
+            on_tree = (pos < self._tree_keys.size) & (
+                self._tree_keys[clipped] == keys
+            )
+            delta[on_tree] = np.minimum(
+                delta[on_tree], self._overlay.link_latency_ms
+            )
+        return delta
+
+    def as_matrix(self) -> np.ndarray:
+        # Same operations (and order) as the historical dense implementation.
+        matrix = self._base.as_matrix()
+        link_ms = self._overlay.link_latency_ms
+        for child, parent in self._overlay.edges():
+            matrix[child, parent] = min(matrix[child, parent], link_ms)
+            matrix[parent, child] = matrix[child, parent]
+        if self._member_pair_ms is not None:
+            members = np.array(self._overlay.members, dtype=int)
+            sub = matrix[np.ix_(members, members)]
+            matrix[np.ix_(members, members)] = np.minimum(
+                sub, self._member_pair_ms
+            )
+        np.fill_diagonal(matrix, 0.0)
+        return matrix
+
+
+class MinerSpeedupLatencyModel(LatencyModel):
+    """Figure 4(b)'s miner speedup composed over a base model, pair by pair.
+
+    Pairs where both endpoints are high-power miners read
+    ``max(base * speedup, floor_ms)``; everything else passes through.  The
+    diagonal is excluded from the edit (the dense implementation zeroed it
+    after scaling), so ``pairwise(u, u)`` stays ``0``.
+    """
+
+    def __init__(
+        self,
+        base: LatencyModel,
+        miner_ids: tuple[int, ...] | list[int] | np.ndarray,
+        speedup: float = DEFAULT_MINER_SPEEDUP,
+        floor_ms: float = 1.0,
+    ) -> None:
+        if not 0 < speedup <= 1:
+            raise ValueError("speedup must be in (0, 1]")
+        if floor_ms < 0:
+            raise ValueError("floor_ms must be non-negative")
+        miners = np.unique(np.asarray(miner_ids, dtype=np.int64))
+        if miners.size and (miners.min() < 0 or miners.max() >= base.num_nodes):
+            raise ValueError("miner ids out of range for the base model")
+        self._base = base
+        self._miners = miners
+        self._speedup = float(speedup)
+        self._floor_ms = float(floor_ms)
+        self._is_miner = np.zeros(base.num_nodes, dtype=bool)
+        self._is_miner[miners] = True
+
+    @property
+    def num_nodes(self) -> int:
+        return self._base.num_nodes
+
+    @property
+    def base(self) -> LatencyModel:
+        return self._base
+
+    def latency(self, u: int, v: int) -> float:
+        value = float(self._base.latency(u, v))
+        if u != v and self._is_miner[u] and self._is_miner[v]:
+            value = max(value * self._speedup, self._floor_ms)
+        return value
+
+    def pairwise(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        delta = np.array(self._base.pairwise(u, v), dtype=float)
+        fast = self._is_miner[u] & self._is_miner[v] & (u != v)
+        delta[fast] = np.maximum(delta[fast] * self._speedup, self._floor_ms)
+        return delta
+
+    def as_matrix(self) -> np.ndarray:
+        # Same operations (and order) as the historical dense implementation.
+        matrix = self._base.as_matrix()
+        if self._miners.size:
+            sub = matrix[np.ix_(self._miners, self._miners)]
+            matrix[np.ix_(self._miners, self._miners)] = np.maximum(
+                sub * self._speedup, self._floor_ms
+            )
+        np.fill_diagonal(matrix, 0.0)
+        return matrix
+
+
 def apply_relay_overlay(
     base: LatencyModel,
     overlay: RelayNetworkOverlay,
     member_pair_latency_ms: float | None = None,
-) -> MatrixLatencyModel:
+) -> RelayOverlayLatencyModel:
     """Lower latencies along the relay overlay.
 
     Tree-adjacent member pairs get ``overlay.link_latency_ms``.  If
     ``member_pair_latency_ms`` is given, *all* member pairs are capped at that
     value, modelling a well-provisioned relay backbone where any two relay
     nodes reach each other quickly through the operator's infrastructure.
+
+    Returns a composition-aware wrapper: no dense matrix is materialised
+    until (and unless) ``as_matrix`` is called.
     """
-    matrix = base.as_matrix()
-    for child, parent in overlay.edges():
-        matrix[child, parent] = min(matrix[child, parent], overlay.link_latency_ms)
-        matrix[parent, child] = matrix[child, parent]
-    if member_pair_latency_ms is not None:
-        if member_pair_latency_ms <= 0:
-            raise ValueError("member_pair_latency_ms must be positive")
-        members = np.array(overlay.members, dtype=int)
-        sub = matrix[np.ix_(members, members)]
-        capped = np.minimum(sub, member_pair_latency_ms)
-        matrix[np.ix_(members, members)] = capped
-    np.fill_diagonal(matrix, 0.0)
-    return MatrixLatencyModel(matrix)
+    return RelayOverlayLatencyModel(
+        base, overlay, member_pair_latency_ms=member_pair_latency_ms
+    )
 
 
 def apply_miner_speedup(
@@ -137,24 +304,17 @@ def apply_miner_speedup(
     miner_ids: tuple[int, ...] | list[int] | np.ndarray,
     speedup: float = DEFAULT_MINER_SPEEDUP,
     floor_ms: float = 1.0,
-) -> MatrixLatencyModel:
+) -> MinerSpeedupLatencyModel:
     """Scale down latencies between the given miners (Figure 4(b) setting).
 
     The paper sets the link propagation latencies between high-power miners to
     be "much smaller than their default values"; ``speedup`` is the
     multiplicative factor applied (default 0.1), with a small floor so links
     never become free.
+
+    Returns a composition-aware wrapper: no dense matrix is materialised
+    until (and unless) ``as_matrix`` is called.
     """
-    if not 0 < speedup <= 1:
-        raise ValueError("speedup must be in (0, 1]")
-    if floor_ms < 0:
-        raise ValueError("floor_ms must be non-negative")
-    miners = np.asarray(miner_ids, dtype=int)
-    if miners.size == 0:
-        return MatrixLatencyModel(base.as_matrix())
-    matrix = base.as_matrix()
-    sub = matrix[np.ix_(miners, miners)]
-    scaled = np.maximum(sub * speedup, floor_ms)
-    matrix[np.ix_(miners, miners)] = scaled
-    np.fill_diagonal(matrix, 0.0)
-    return MatrixLatencyModel(matrix)
+    return MinerSpeedupLatencyModel(
+        base, miner_ids, speedup=speedup, floor_ms=floor_ms
+    )

@@ -19,10 +19,17 @@ from scipy.sparse.csgraph import dijkstra
 from repro.latency.metric_space import MetricSpaceLatencyModel
 
 
+#: Sources per Dijkstra batch in the all-pairs case — the same chunking
+#: discipline :class:`repro.metrics.evaluator.DelayEvaluator` applies, so
+#: theory checks never hand SciPy an unbounded all-pairs pass at large N.
+DEFAULT_CHUNK_SIZE = 1024
+
+
 def shortest_path_latencies(
     model: MetricSpaceLatencyModel,
     edges: np.ndarray,
     sources: np.ndarray | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> np.ndarray:
     """Shortest-path latency matrix over a given undirected edge set.
 
@@ -34,10 +41,17 @@ def shortest_path_latencies(
         ``(E, 2)`` array of undirected edges.
     sources:
         Optional subset of source nodes; all nodes when omitted.
+    chunk_size:
+        Sources per Dijkstra batch when ``sources is None`` — the full
+        output matrix is still ``(n, n)``, but each SciPy pass only holds
+        ``chunk_size`` frontiers, keeping scratch memory bounded.  Row-wise
+        results are identical to the unchunked pass.
 
     Returns the ``(len(sources), n)`` matrix of path latencies (``inf`` for
     unreachable pairs).
     """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
     n = model.num_nodes
     edges = np.asarray(edges, dtype=int)
     if edges.size == 0:
@@ -45,15 +59,21 @@ def shortest_path_latencies(
     else:
         if edges.ndim != 2 or edges.shape[1] != 2:
             raise ValueError("edges must have shape (E, 2)")
-        matrix = model.as_matrix()
         u, v = edges[:, 0], edges[:, 1]
-        weights = matrix[u, v]
+        # Per-edge gather (E values) instead of the dense N x N matrix.
+        weights = model.pairwise(u, v)
         rows = np.concatenate([u, v])
         cols = np.concatenate([v, u])
         data = np.concatenate([weights, weights])
         weights_graph = csr_matrix((data, (rows, cols)), shape=(n, n))
     if sources is None:
-        return dijkstra(weights_graph, directed=False)
+        out = np.empty((n, n), dtype=float)
+        for start in range(0, n, chunk_size):
+            chunk = np.arange(start, min(start + chunk_size, n), dtype=int)
+            out[chunk] = np.atleast_2d(
+                dijkstra(weights_graph, directed=False, indices=chunk)
+            )
+        return out
     sources = np.asarray(sources, dtype=int)
     return np.atleast_2d(dijkstra(weights_graph, directed=False, indices=sources))
 
@@ -77,7 +97,6 @@ def pairwise_stretch(
     n = model.num_nodes
     if n < 2:
         raise ValueError("need at least two nodes")
-    direct = model.as_matrix()
     stretches = []
     attempts = 0
     max_attempts = 50 * num_pairs
@@ -88,14 +107,15 @@ def pairwise_stretch(
         b = int(rng.integers(0, n))
         if a == b:
             continue
-        if direct[a, b] < min_distance * model.scale_ms:
+        direct = model.latency(a, b)
+        if direct < min_distance * model.scale_ms:
             continue
         if a not in cache:
             cache[a] = shortest_path_latencies(model, edges, np.array([a]))[0]
         path = cache[a][b]
         if not np.isfinite(path):
             continue
-        stretches.append(path / direct[a, b])
+        stretches.append(path / direct)
     return np.asarray(stretches, dtype=float)
 
 
