@@ -156,6 +156,7 @@ def _execute_spec(
     cluster: bool = False,
     run=run_task,
     flight: bool = False,
+    checkpoint_every: int = 0,
 ):
     """Shared execution path: resolve store/executor, run the sweep.
 
@@ -167,6 +168,10 @@ def _execute_spec(
 
     ``flight=True`` flags every task of the sweep for flight recording
     (requires a store — that is where ``runs/`` artifacts live).
+
+    ``checkpoint_every > 0`` flags every task of the sweep for periodic
+    checkpointing at that round interval (requires a store — snapshots live
+    under ``<store>/checkpoints/``), making interrupted tasks resumable.
     """
     resolved_store = _resolve_store(store)
     if flight:
@@ -177,6 +182,14 @@ def _execute_spec(
                 "flight/--flight-recorder"
             )
         spec = replace(spec, flight=True)
+    if checkpoint_every:
+        if resolved_store is None:
+            raise ValueError(
+                "checkpointing persists round snapshots into the result "
+                "store; pass store=/--store together with "
+                "checkpoint_every/--checkpoint-every"
+            )
+        spec = replace(spec, checkpoint_every=int(checkpoint_every))
     if cluster:
         if resolved_store is None:
             raise ValueError(
@@ -217,6 +230,7 @@ def compare_protocols(
     progress: ProgressCallback | None = None,
     cluster: bool = False,
     flight: bool = False,
+    checkpoint_every: int = 0,
 ) -> ExperimentResult:
     """Run several protocols on shared populations and return their curves.
 
@@ -294,6 +308,7 @@ def compare_protocols(
         cluster=cluster,
         run=run,
         flight=flight,
+        checkpoint_every=checkpoint_every,
     )
     return records_to_result(records, name=experiment_name)
 
@@ -573,11 +588,13 @@ EXPERIMENT_SPECS = {
 def build_experiment_specs(name: str, **kwargs) -> list[SweepSpec]:
     """Expand a named experiment into its sweep specs without running it.
 
-    ``flight=True`` is handled generically (the per-figure spec builders do
-    not know about recording): every produced spec asks executing workers to
-    flight-record its tasks.
+    ``flight=True`` and ``checkpoint_every=N`` are handled generically (the
+    per-figure spec builders do not know about execution policy): every
+    produced spec asks executing workers to flight-record and/or checkpoint
+    its tasks.
     """
     flight = bool(kwargs.pop("flight", False))
+    checkpoint_every = int(kwargs.pop("checkpoint_every", 0))
     try:
         builder = EXPERIMENT_SPECS[name]
     except KeyError as error:
@@ -587,6 +604,10 @@ def build_experiment_specs(name: str, **kwargs) -> list[SweepSpec]:
     specs = builder(**kwargs)
     if flight:
         specs = [replace(spec, flight=True) for spec in specs]
+    if checkpoint_every:
+        specs = [
+            replace(spec, checkpoint_every=checkpoint_every) for spec in specs
+        ]
     return specs
 
 
@@ -605,6 +626,7 @@ def run_figure3a(
     progress: ProgressCallback | None = None,
     cluster: bool = False,
     flight: bool = False,
+    checkpoint_every: int = 0,
 ) -> ExperimentResult:
     """Figure 3(a): uniform hash power, default delays."""
     spec = figure3a_spec(
@@ -617,6 +639,7 @@ def run_figure3a(
         progress=progress,
         cluster=cluster,
         flight=flight,
+        checkpoint_every=checkpoint_every,
     )
     return records_to_result(records, name=spec.name)
 
@@ -633,6 +656,7 @@ def run_figure3b(
     progress: ProgressCallback | None = None,
     cluster: bool = False,
     flight: bool = False,
+    checkpoint_every: int = 0,
 ) -> ExperimentResult:
     """Figure 3(b): hash power drawn from an exponential distribution."""
     spec = figure3b_spec(
@@ -645,6 +669,7 @@ def run_figure3b(
         progress=progress,
         cluster=cluster,
         flight=flight,
+        checkpoint_every=checkpoint_every,
     )
     return records_to_result(records, name=spec.name)
 
@@ -662,6 +687,7 @@ def run_figure4a(
     progress: ProgressCallback | None = None,
     cluster: bool = False,
     flight: bool = False,
+    checkpoint_every: int = 0,
 ) -> ProcessingDelaySweepResult:
     """Figure 4(a): sweep the block validation delay from 0.1x to 10x."""
     specs = figure4a_specs(
@@ -677,6 +703,7 @@ def run_figure4a(
             progress=progress,
             cluster=cluster,
             flight=flight,
+            checkpoint_every=checkpoint_every,
         )
         results[scale] = records_to_result(records, name=spec.name)
     return ProcessingDelaySweepResult(scales=tuple(scales), results=results)
@@ -695,6 +722,7 @@ def run_figure4b(
     progress: ProgressCallback | None = None,
     cluster: bool = False,
     flight: bool = False,
+    checkpoint_every: int = 0,
 ) -> ExperimentResult:
     """Figure 4(b): 10% of nodes hold 90% of hash power, with fast links among them."""
     spec = figure4b_spec(
@@ -707,6 +735,7 @@ def run_figure4b(
         progress=progress,
         cluster=cluster,
         flight=flight,
+        checkpoint_every=checkpoint_every,
     )
     return records_to_result(records, name=spec.name)
 
@@ -726,6 +755,7 @@ def run_figure4c(
     progress: ProgressCallback | None = None,
     cluster: bool = False,
     flight: bool = False,
+    checkpoint_every: int = 0,
 ) -> ExperimentResult:
     """Figure 4(c): a bloXroute-like low-latency relay tree of 100 nodes."""
     spec = figure4c_spec(
@@ -746,6 +776,7 @@ def run_figure4c(
         progress=progress,
         cluster=cluster,
         flight=flight,
+        checkpoint_every=checkpoint_every,
     )
     return records_to_result(records, name=spec.name)
 
@@ -761,6 +792,7 @@ def run_figure5(
     progress: ProgressCallback | None = None,
     cluster: bool = False,
     flight: bool = False,
+    checkpoint_every: int = 0,
 ) -> ExperimentResult:
     """Figure 5: histograms of overlay edge latencies under uniform hash power."""
     spec = figure5_spec(num_nodes, rounds, seed, blocks_per_round, protocols)
@@ -771,6 +803,7 @@ def run_figure5(
         progress=progress,
         cluster=cluster,
         flight=flight,
+        checkpoint_every=checkpoint_every,
     )
     return records_to_result(records, name=spec.name)
 
@@ -790,6 +823,7 @@ def run_scaling(
     progress: ProgressCallback | None = None,
     cluster: bool = False,
     flight: bool = False,
+    checkpoint_every: int = 0,
 ) -> NetworkScalingResult:
     """Scaling study: Perigee vs random across network sizes (large-N grid)."""
     specs = scaling_specs(
@@ -814,6 +848,7 @@ def run_scaling(
             progress=progress,
             cluster=cluster,
             flight=flight,
+            checkpoint_every=checkpoint_every,
         )
         size = spec.config.num_nodes
         ladder.append(size)

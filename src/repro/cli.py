@@ -49,6 +49,16 @@ under ``<store>/runs/<hash>/``, inspectable after (or during) the run::
     perigee-sim inspect --store runs/ <hash> [--json]
     perigee-sim trace --out trace.json             # Perfetto span trace
 
+Checkpointing: ``--checkpoint-every R`` (on experiment, ``submit`` and
+``worker`` subcommands) snapshots every adaptive task's full simulation
+state to ``<store>/checkpoints/<hash>/`` every ``R`` rounds; a killed or
+interrupted task resumes from its newest snapshot — bit-identical to an
+uninterrupted run — instead of restarting at round zero::
+
+    perigee-sim submit figure3a --store runs/ --checkpoint-every 5
+    perigee-sim checkpoints --store runs/          # list resumable state
+    perigee-sim checkpoints --store runs/ --prune  # drop completed tasks'
+
 The CLI intentionally exposes only the experiment-level knobs (size, rounds,
 repeats, seed, workers, store); anything finer grained is available through
 the Python API.
@@ -159,6 +169,17 @@ def build_parser() -> argparse.ArgumentParser:
             "persist per-round traces under <store>/runs/<hash>/"
         ),
     )
+    submit_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="R",
+        help=(
+            "flag every queued task for checkpointing: draining workers "
+            "snapshot simulation state under <store>/checkpoints/<hash>/ "
+            "every R rounds, making reclaimed tasks resumable"
+        ),
+    )
     _add_large_n_arguments(submit_parser)
 
     worker_parser = subparsers.add_parser(
@@ -216,6 +237,18 @@ def build_parser() -> argparse.ArgumentParser:
             "under <store>/runs/<hash>/"
         ),
     )
+    worker_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="R",
+        help=(
+            "checkpoint every task this worker executes at this round "
+            "interval, overriding per-task intervals (tasks submitted with "
+            "--checkpoint-every are checkpointed regardless); snapshots land "
+            "under <store>/checkpoints/<hash>/"
+        ),
+    )
 
     status_parser = subparsers.add_parser(
         "status", help="show queue depth and worker liveness for a store"
@@ -256,6 +289,35 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=60.0,
         help="liveness horizon used for the worker-alive gauges",
+    )
+
+    checkpoints_parser = subparsers.add_parser(
+        "checkpoints",
+        help=(
+            "list or prune resumable task checkpoints stored under "
+            "<store>/checkpoints/"
+        ),
+    )
+    checkpoints_parser.add_argument(
+        "--store", required=True, help="store directory holding checkpoints/"
+    )
+    checkpoints_parser.add_argument(
+        "--prune",
+        action="store_true",
+        help=(
+            "remove checkpoints belonging to tasks the store already holds "
+            "a successful record for (what 'compact' also does)"
+        ),
+    )
+    checkpoints_parser.add_argument(
+        "--prune-all",
+        action="store_true",
+        help="remove ALL checkpoints, including those of unfinished tasks",
+    )
+    checkpoints_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the checkpoint listing as JSON",
     )
 
     inspect_parser = subparsers.add_parser(
@@ -347,6 +409,18 @@ def build_parser() -> argparse.ArgumentParser:
                 "persist a per-round flight-recorder trace of every task "
                 "under <store>/runs/<hash>/ (requires --store); inspect "
                 "with 'perigee-sim inspect'"
+            ),
+        )
+        experiment_parser.add_argument(
+            "--checkpoint-every",
+            type=int,
+            default=0,
+            metavar="R",
+            help=(
+                "snapshot each adaptive task's simulation state every R "
+                "rounds under <store>/checkpoints/<hash>/ (requires "
+                "--store); interrupted tasks resume from the newest "
+                "snapshot, bit-identical to an uninterrupted run"
             ),
         )
         if name != "figure5":
@@ -504,6 +578,8 @@ def _spec_kwargs(args: argparse.Namespace) -> dict:
             kwargs["evaluation"] = evaluation
     if getattr(args, "flight_recorder", False):
         kwargs["flight"] = True
+    if getattr(args, "checkpoint_every", 0):
+        kwargs["checkpoint_every"] = args.checkpoint_every
     return kwargs
 
 
@@ -539,6 +615,7 @@ def _run_worker(args: argparse.Namespace) -> int:
         poll_interval=args.poll_interval,
         telemetry=args.telemetry,
         flight=args.flight_recorder,
+        checkpoint_every=args.checkpoint_every,
     )
     print(f"worker {worker.worker_id} draining {args.store}", file=sys.stderr)
 
@@ -570,8 +647,54 @@ def _run_compact(args: argparse.Namespace) -> int:
     print(
         f"compacted {store.directory}: {outcome.records} record(s) in "
         f"results.jsonl ({outcome.lines_before} line(s) read, "
-        f"{outcome.shards_removed} shard file(s) removed)"
+        f"{outcome.shards_removed} shard file(s) removed, "
+        f"{outcome.checkpoints_removed} stale checkpoint dir(s) removed)"
     )
+    return 0
+
+
+def _run_checkpoints(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runtime.checkpoint import list_checkpoints, prune_checkpoints
+
+    store = ResultStore(args.store)
+    entries = list_checkpoints(store.directory)
+    if args.prune_all:
+        removed = prune_checkpoints(store.directory)
+        print(f"removed {removed} checkpoint dir(s) from {store.directory}")
+        return 0
+    if args.prune:
+        completed = {
+            key for key, record in store.load().items() if record.ok
+        }
+        stale = [entry for entry in entries if entry["key"] in completed]
+        removed = (
+            prune_checkpoints(
+                store.directory, keys={entry["key"] for entry in stale}
+            )
+            if stale
+            else 0
+        )
+        kept = len(entries) - removed
+        print(
+            f"removed {removed} completed task checkpoint dir(s), "
+            f"{kept} resumable task(s) kept"
+        )
+        return 0
+    if args.json:
+        print(json.dumps(entries, sort_keys=True, indent=2))
+        return 0
+    if not entries:
+        print(f"no checkpoints under {store.directory}/checkpoints")
+        return 0
+    for entry in entries:
+        print(
+            f"{entry['key'][:12]}  round={entry['round']}  "
+            f"snapshots={entry['snapshots']}  "
+            f"{entry['bytes'] / 1024:.1f} KiB  "
+            f"age={entry['age_s']:.0f}s"
+        )
     return 0
 
 
@@ -682,6 +805,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 1
     if getattr(args, "workers", 1) < 1:
         parser.error("--workers must be a positive integer")
+    if getattr(args, "checkpoint_every", 0) < 0:
+        parser.error("--checkpoint-every must be non-negative")
     if args.command == "list":
         for name in EXPERIMENTS:
             print(name)
@@ -702,6 +827,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_submit(args)
     if args.command == "compact":
         return _run_compact(args)
+    if args.command == "checkpoints":
+        return _run_checkpoints(args)
     if args.command == "worker":
         return _run_worker(args)
     if args.command == "status":
@@ -717,6 +844,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.flight_recorder and args.store is None:
         parser.error(
             "--flight-recorder requires --store (runs/ artifacts live inside it)"
+        )
+    if args.checkpoint_every and args.store is None:
+        parser.error(
+            "--checkpoint-every requires --store (checkpoints/ lives inside it)"
         )
     if args.cluster and args.workers > 1:
         parser.error(
@@ -740,6 +871,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             kwargs["evaluation"] = evaluation
     if args.flight_recorder:
         kwargs["flight"] = True
+    if args.checkpoint_every:
+        kwargs["checkpoint_every"] = args.checkpoint_every
     if args.workers > 1 or args.store is not None:
         kwargs["progress"] = _progress_printer
     result = run_experiment(args.command, **kwargs)

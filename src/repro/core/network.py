@@ -390,6 +390,56 @@ class P2PNetwork:
         clone._reset_change_log()
         return clone
 
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict[str, object]:
+        """JSON-serialisable snapshot of the overlay.
+
+        Only the outgoing sets are captured (sorted, so the snapshot is
+        canonical); the incoming sets are their exact mirror and are rebuilt
+        on restore.  Budgets are included because
+        :meth:`make_fully_connected` raises them mid-run.
+        """
+        return {
+            "num_nodes": self._num_nodes,
+            "out_degree": self._out_degree,
+            "max_incoming": self._max_incoming,
+            "outgoing": [sorted(targets) for targets in self._outgoing],
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        """Restore the overlay captured by :meth:`state_dict`.
+
+        The change log is reset afterwards, so incremental consumers keyed to
+        :attr:`topology_version` observe a version they cannot diff against
+        and fall back to a full rebuild — restored state never aliases stale
+        deltas.  Restoring sets from sorted lists is bit-identity safe: every
+        RNG-consuming reader of the outgoing sets sorts them first or is
+        insensitive to iteration order.
+        """
+        if int(state["num_nodes"]) != self._num_nodes:
+            raise ValueError(
+                f"checkpoint is for {state['num_nodes']} nodes, "
+                f"network has {self._num_nodes}"
+            )
+        outgoing_lists = state["outgoing"]
+        if len(outgoing_lists) != self._num_nodes:
+            raise ValueError("checkpoint outgoing adjacency has wrong length")
+        self._out_degree = int(state["out_degree"])
+        self._max_incoming = int(state["max_incoming"])
+        outgoing = [
+            {int(target) for target in targets} for targets in outgoing_lists
+        ]
+        incoming: list[set[int]] = [set() for _ in range(self._num_nodes)]
+        for node_id, targets in enumerate(outgoing):
+            for target in targets:
+                incoming[target].add(node_id)
+        self._outgoing = outgoing
+        self._incoming = incoming
+        self._reset_change_log()
+        self.validate_invariants()
+
     def degree_histogram(self) -> dict[int, int]:
         """Map from communication degree to the number of nodes with that degree."""
         histogram: dict[int, int] = defaultdict(int)

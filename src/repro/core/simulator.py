@@ -35,6 +35,38 @@ from repro.protocols.base import NeighborSelectionProtocol, ProtocolContext
 from repro.telemetry.flight import get_flight_recorder
 from repro.telemetry.recorder import get_recorder
 
+#: Bumped whenever the checkpoint layout changes incompatibly; restore
+#: refuses snapshots from a different schema instead of misinterpreting them.
+CHECKPOINT_SCHEMA = 1
+
+
+def rng_state_to_json(state: object) -> object:
+    """Make a ``Generator.bit_generator.state`` tree JSON-serialisable.
+
+    PCG64 state is already plain (arbitrary-precision ints survive JSON), but
+    some bit generators (Philox, SFC64) carry uint64 ndarrays; those are
+    tagged and listified so the exact words round-trip.
+    """
+    if isinstance(state, dict):
+        return {key: rng_state_to_json(value) for key, value in state.items()}
+    if isinstance(state, np.ndarray):
+        return {
+            "__ndarray__": state.tolist(),
+            "dtype": state.dtype.str,
+        }
+    if isinstance(state, np.integer):
+        return int(state)
+    return state
+
+
+def rng_state_from_json(state: object) -> object:
+    """Invert :func:`rng_state_to_json`."""
+    if isinstance(state, dict):
+        if "__ndarray__" in state:
+            return np.array(state["__ndarray__"], dtype=np.dtype(state["dtype"]))
+        return {key: rng_state_from_json(value) for key, value in state.items()}
+    return state
+
 
 @dataclass(frozen=True)
 class RoundResult:
@@ -158,6 +190,7 @@ class Simulator:
         self._protocol.build_topology(self._context, self._network, self._rng)
         self._hash_power = self._population.hash_power
         self._next_block_id = 0
+        self._rounds_completed = 0
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -194,6 +227,68 @@ class Simulator:
     @property
     def delay_evaluator(self) -> DelayEvaluator:
         return self._evaluator
+
+    @property
+    def rounds_completed(self) -> int:
+        """Number of :meth:`run_round` calls executed (or restored) so far."""
+        return self._rounds_completed
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict[str, object]:
+        """JSON-serialisable snapshot of everything a round depends on.
+
+        Captures the round counter, the block-id counter (miner assignment
+        flows from the RNG + hash power, both reproducible), the exact RNG
+        state, the overlay topology, and the protocol's cross-round state.
+        The environment (population, latency, propagation engine, evaluator)
+        is *not* captured: it is a deterministic function of the task's
+        environment seed and is rebuilt identically on restore.
+
+        The hard contract: ``load_state_dict(state_dict())`` into a freshly
+        constructed, same-seeded simulator makes every subsequent round
+        bit-identical to the uninterrupted run.
+        """
+        return {
+            "schema": CHECKPOINT_SCHEMA,
+            "protocol": self._protocol.name,
+            "num_nodes": self._config.num_nodes,
+            "rounds_completed": self._rounds_completed,
+            "next_block_id": self._next_block_id,
+            "rng": rng_state_to_json(self._rng.bit_generator.state),
+            "network": self._network.state_dict(),
+            "protocol_state": self._protocol.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        """Restore a snapshot captured by :meth:`state_dict`.
+
+        Raises ``ValueError`` when the snapshot belongs to a different
+        schema, protocol, or population size — restoring such a snapshot
+        could only produce silently wrong results.
+        """
+        schema = state.get("schema")
+        if schema != CHECKPOINT_SCHEMA:
+            raise ValueError(
+                f"checkpoint schema {schema!r} is not supported "
+                f"(expected {CHECKPOINT_SCHEMA})"
+            )
+        if state["protocol"] != self._protocol.name:
+            raise ValueError(
+                f"checkpoint was taken under protocol {state['protocol']!r}, "
+                f"simulator runs {self._protocol.name!r}"
+            )
+        if int(state["num_nodes"]) != self._config.num_nodes:
+            raise ValueError(
+                f"checkpoint is for {state['num_nodes']} nodes, "
+                f"config has {self._config.num_nodes}"
+            )
+        self._network.load_state_dict(state["network"])
+        self._protocol.load_state_dict(state.get("protocol_state", {}))
+        self._rng.bit_generator.state = rng_state_from_json(state["rng"])
+        self._next_block_id = int(state["next_block_id"])
+        self._rounds_completed = int(state["rounds_completed"])
 
     # ------------------------------------------------------------------ #
     # Simulation steps
@@ -310,6 +405,7 @@ class Simulator:
             if finite.size:
                 median = float(np.median(finite))
                 p90 = float(np.percentile(finite, 90))
+        self._rounds_completed += 1
         recorder.incr("round.count")
         recorder.incr("round.blocks_mined", len(blocks))
         if flight.enabled:

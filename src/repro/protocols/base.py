@@ -92,6 +92,30 @@ class NeighborSelectionProtocol(abc.ABC):
     def reset(self) -> None:
         """Clear any per-run internal state (e.g. UCB histories)."""
 
+    def state_dict(self) -> dict[str, object]:
+        """JSON-serialisable per-run state for checkpointing.
+
+        Stateless protocols (all static baselines, Perigee Vanilla/Subset —
+        pure functions of each round's observations) return ``{}``.
+        Protocols that accumulate cross-round state (UCB histories) must
+        override both this and :meth:`load_state_dict` so a restored run is
+        bit-identical to an uninterrupted one.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        """Restore per-run state captured by :meth:`state_dict`.
+
+        The default accepts only an empty snapshot; a non-empty one means the
+        checkpoint was taken by a stateful protocol and restoring it here
+        would silently drop state, so fail loudly instead.
+        """
+        if state:
+            raise ValueError(
+                f"protocol {self.name!r} carries no restorable state but the "
+                f"checkpoint holds keys {sorted(state)}"
+            )
+
     def describe(self) -> dict[str, object]:
         """Summary of the protocol and its parameters for reports."""
         return {"name": self.name, "adaptive": self.is_adaptive}

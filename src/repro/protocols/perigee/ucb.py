@@ -80,6 +80,34 @@ class PerigeeUCBProtocol(PerigeeBase):
     def reset(self) -> None:
         self._history = defaultdict(lambda: defaultdict(list))
 
+    def state_dict(self) -> dict[str, object]:
+        """Serialise the stacked per-neighbor history.
+
+        JSON object keys must be strings, so node/neighbor ids are stringified
+        here and parsed back in :meth:`load_state_dict`.  Samples are plain
+        Python floats (``tolist`` output), which round-trip exactly through
+        JSON's repr-based encoding.
+        """
+        history = {
+            str(node_id): {
+                str(neighbor): list(samples)
+                for neighbor, samples in buckets.items()
+            }
+            for node_id, buckets in self._history.items()
+            if buckets
+        }
+        return {"history": history} if history else {}
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        restored: dict[int, dict[int, list[float]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+        for node_id, buckets in state.get("history", {}).items():
+            node_history = restored[int(node_id)]
+            for neighbor, samples in buckets.items():
+                node_history[int(neighbor)] = [float(s) for s in samples]
+        self._history = restored
+
     def history_for(self, node_id: int) -> dict[int, list[float]]:
         """Accumulated samples per neighbor for one node (copy, for tests)."""
         return {

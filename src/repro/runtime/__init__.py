@@ -44,7 +44,20 @@ or, one level down::
     result = records_to_result(records)
 """
 
-from repro.runtime.aggregate import failed_records, mean_curve, records_to_result
+from repro.runtime.aggregate import (
+    StreamingAggregator,
+    failed_records,
+    mean_curve,
+    records_to_result,
+)
+from repro.runtime.checkpoint import (
+    clear_task_checkpoints,
+    latest_checkpoint,
+    list_checkpoints,
+    prune_checkpoints,
+    task_checkpoint_dir,
+    write_checkpoint,
+)
 from repro.runtime.cluster import ClusterExecutor, Worker, WorkQueue
 from repro.runtime.executor import (
     ParallelExecutor,
@@ -71,16 +84,23 @@ __all__ = [
     "Worker",
     "Scenario",
     "SerialExecutor",
+    "StreamingAggregator",
     "SweepSpec",
     "Task",
     "TaskRecord",
     "available_scenarios",
+    "clear_task_checkpoints",
     "execute_sweep",
     "failed_records",
     "get_scenario",
+    "latest_checkpoint",
+    "list_checkpoints",
     "make_executor",
     "mean_curve",
+    "prune_checkpoints",
     "records_to_result",
     "register_scenario",
     "run_task",
+    "task_checkpoint_dir",
+    "write_checkpoint",
 ]

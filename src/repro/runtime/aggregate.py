@@ -7,15 +7,25 @@ into an ``ExperimentResult``.  The reduction is identical to what the old
 serial loop computed inline, so a sweep executed through the runtime — in
 any order, across any number of processes, possibly partially served from a
 store — aggregates to byte-identical curves.
+
+The reduction is **online**: :class:`StreamingAggregator` consumes one
+record at a time and keeps only an element-wise running sum per protocol
+(one curve of memory, not repeats x N), so the telemetry layer can report
+partial mean delay-percentile curves while a sweep is still draining.
+Dividing the running sum by the repeat count at read time is bit-identical
+to ``np.vstack(curves).mean(axis=0)`` — IEEE-754 addition over the same
+operands in the same order — which keeps the historical byte-identity
+guarantee intact; :func:`records_to_result` is now a thin wrapper over the
+streaming path.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
-from repro.metrics.delay import DelayCurve, delay_curve
+from repro.metrics.delay import DelayCurve
 from repro.metrics.topology import EdgeLatencyHistogram
 from repro.runtime.tasks import TaskRecord
 
@@ -26,11 +36,27 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 def mean_curve(
     curves: Sequence[DelayCurve], protocol: str, target: float
 ) -> DelayCurve:
-    """Average sorted per-node curves across repeats (element-wise)."""
-    stacked = np.vstack([curve.sorted_delays_ms for curve in curves])
+    """Average sorted per-node curves across repeats (element-wise).
+
+    Accumulates a running element-wise sum instead of stacking all repeats
+    (peak memory is one curve), and the result is bit-identical to the
+    ``np.vstack(...).mean(axis=0)`` it replaces: both reduce index ``i`` as
+    ``(c0[i] + c1[i] + ... + ck[i]) / k`` in the same operand order.
+    """
+    if not curves:
+        raise ValueError("curves must be non-empty")
+    total = np.array(curves[0].sorted_delays_ms, dtype=float, copy=True)
+    for curve in curves[1:]:
+        values = np.asarray(curve.sorted_delays_ms, dtype=float)
+        if values.shape != total.shape:
+            raise ValueError(
+                f"curve length mismatch for {protocol!r}: "
+                f"{values.shape} vs {total.shape}"
+            )
+        total += values
     return DelayCurve(
         protocol=protocol,
-        sorted_delays_ms=stacked.mean(axis=0),
+        sorted_delays_ms=total / len(curves),
         target_fraction=target,
     )
 
@@ -51,12 +77,194 @@ def _histogram_from_payload(payload: dict) -> EdgeLatencyHistogram:
     )
 
 
+class StreamingAggregator:
+    """Online reduction of task records into per-protocol mean curves.
+
+    Feed records in any order via :meth:`add`; at any point the aggregator
+    can report partial mean curves (:meth:`mean_curves` /
+    :meth:`partial_summary`) or finalise into an ``ExperimentResult``
+    (:meth:`result`).  State per protocol is one running sum per target plus
+    a repeat count — constant in the number of repeats.
+
+    Ordering contract: summation happens in ``add()`` order, so feeding the
+    same records in the same order as :func:`records_to_result` historically
+    did (task order, failures skipped) reproduces its output byte-for-byte.
+    """
+
+    def __init__(self, name: str | None = None) -> None:
+        self._name = name
+        self._records_seen = 0
+        self._protocols: list[str] = []
+        self._counts: dict[str, int] = {}
+        self._sum90: dict[str, np.ndarray] = {}
+        self._sum50: dict[str, np.ndarray] = {}
+        self._histograms: dict[str, dict] = {}
+        self._failures: list[TaskRecord] = []
+        self._first_ok: TaskRecord | None = None
+
+    # ------------------------------------------------------------------ #
+    # Feeding
+    # ------------------------------------------------------------------ #
+    def add(self, record: TaskRecord) -> None:
+        """Fold one record in (failed records are tracked, not aggregated)."""
+        self._records_seen += 1
+        if not record.ok:
+            self._failures.append(record)
+            return
+        if self._first_ok is None:
+            self._first_ok = record
+        protocol = record.task.protocol
+        sorted90 = np.sort(np.asarray(record.reach90, dtype=float))
+        sorted50 = np.sort(np.asarray(record.reach50, dtype=float))
+        if protocol not in self._counts:
+            self._protocols.append(protocol)
+            self._counts[protocol] = 1
+            self._sum90[protocol] = sorted90
+            self._sum50[protocol] = sorted50
+        else:
+            if sorted90.shape != self._sum90[protocol].shape:
+                raise ValueError(
+                    f"reach-curve length mismatch for {protocol!r}: "
+                    f"{sorted90.shape} vs {self._sum90[protocol].shape} "
+                    "(records from differently-sized runs cannot average)"
+                )
+            self._counts[protocol] += 1
+            self._sum90[protocol] = self._sum90[protocol] + sorted90
+            self._sum50[protocol] = self._sum50[protocol] + sorted50
+        if record.histogram is not None and protocol not in self._histograms:
+            self._histograms[protocol] = record.histogram
+
+    def extend(self, records: Iterable[TaskRecord]) -> None:
+        for record in records:
+            self.add(record)
+
+    # ------------------------------------------------------------------ #
+    # Introspection (valid mid-stream)
+    # ------------------------------------------------------------------ #
+    @property
+    def records_seen(self) -> int:
+        return self._records_seen
+
+    @property
+    def protocols(self) -> tuple[str, ...]:
+        """Protocols aggregated so far, in first-seen order."""
+        return tuple(self._protocols)
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Successful repeats folded in so far, per protocol."""
+        return dict(self._counts)
+
+    @property
+    def failures(self) -> list[TaskRecord]:
+        return list(self._failures)
+
+    def _target(self) -> float:
+        assert self._first_ok is not None
+        return self._first_ok.task.config.hash_power_target
+
+    def mean_curves(self) -> dict[str, DelayCurve]:
+        """Current per-protocol mean reach-90 curves (partial mid-sweep)."""
+        if self._first_ok is None:
+            return {}
+        target = self._target()
+        return {
+            protocol: DelayCurve(
+                protocol=protocol,
+                sorted_delays_ms=self._sum90[protocol] / self._counts[protocol],
+                target_fraction=target,
+            )
+            for protocol in self._protocols
+        }
+
+    def mean_curves_50(self) -> dict[str, DelayCurve]:
+        """Current per-protocol mean reach-50 curves (partial mid-sweep)."""
+        return {
+            protocol: DelayCurve(
+                protocol=protocol,
+                sorted_delays_ms=self._sum50[protocol] / self._counts[protocol],
+                target_fraction=0.5,
+            )
+            for protocol in self._protocols
+        }
+
+    def partial_summary(self) -> dict[str, dict]:
+        """JSON-ready snapshot of the running means (what ``/status`` serves).
+
+        One entry per protocol: repeats folded in so far and the
+        10th/50th/90th percentiles (plus mean) of the *partial mean curve*
+        over its finite values — infinite reach times (disconnected sources)
+        are excluded from the percentiles but reported as a count.
+        """
+        summary: dict[str, dict] = {}
+        for protocol, curve in self.mean_curves().items():
+            values = np.asarray(curve.sorted_delays_ms, dtype=float)
+            finite = values[np.isfinite(values)]
+            entry: dict = {
+                "repeats": self._counts[protocol],
+                "points": int(values.size),
+                "unreachable": int(values.size - finite.size),
+            }
+            if finite.size:
+                entry.update(
+                    mean_ms=float(finite.mean()),
+                    p10_ms=float(np.percentile(finite, 10)),
+                    p50_ms=float(np.percentile(finite, 50)),
+                    p90_ms=float(np.percentile(finite, 90)),
+                )
+            summary[protocol] = entry
+        return summary
+
+    # ------------------------------------------------------------------ #
+    # Finalisation
+    # ------------------------------------------------------------------ #
+    def result(
+        self, name: str | None = None, strict: bool = True
+    ) -> "ExperimentResult":
+        """Finalise into an ``ExperimentResult``.
+
+        Mirrors the historical :func:`records_to_result` contract: with
+        ``strict`` any failure raises ``RuntimeError`` naming the failed
+        cells; otherwise failures are dropped and protocols average over
+        their successful repeats (no successful record at all still raises).
+        """
+        from repro.analysis.experiments import ExperimentResult
+
+        if self._failures and strict:
+            summary = "; ".join(
+                f"{record.task.protocol}[repeat={record.task.repeat}]: "
+                f"{(record.error or 'unknown error').splitlines()[0]}"
+                for record in self._failures
+            )
+            raise RuntimeError(
+                f"{len(self._failures)} task(s) failed: {summary}"
+            )
+        if self._first_ok is None:
+            raise RuntimeError("no successful task records to aggregate")
+        resolved_name = name if name is not None else self._name
+        if resolved_name is None:
+            resolved_name = self._first_ok.task.experiment
+        result = ExperimentResult(
+            name=resolved_name, config=self._first_ok.task.config
+        )
+        result.curves.update(self.mean_curves())
+        result.curves_50.update(self.mean_curves_50())
+        for protocol, payload in self._histograms.items():
+            result.histograms[protocol] = _histogram_from_payload(payload)
+        return result
+
+
 def records_to_result(
     records: Sequence[TaskRecord],
     name: str | None = None,
     strict: bool = True,
 ) -> "ExperimentResult":
     """Aggregate task records into an ``ExperimentResult``.
+
+    A thin wrapper over :class:`StreamingAggregator` — records are folded in
+    one at a time in the given order, so the output (including failure
+    handling and byte-level curve content) is identical to the historical
+    all-in-memory reduction.
 
     Parameters
     ----------
@@ -71,50 +279,8 @@ def records_to_result(
         records are dropped and protocols average over their successful
         repeats only (a protocol with no successful repeat still raises).
     """
-    from repro.analysis.experiments import ExperimentResult
-
     if not records:
         raise ValueError("records must be non-empty")
-    failures = failed_records(records)
-    if failures and strict:
-        summary = "; ".join(
-            f"{record.task.protocol}[repeat={record.task.repeat}]: "
-            f"{(record.error or 'unknown error').splitlines()[0]}"
-            for record in failures
-        )
-        raise RuntimeError(f"{len(failures)} task(s) failed: {summary}")
-
-    usable = [record for record in records if record.ok]
-    if not usable:
-        raise RuntimeError("no successful task records to aggregate")
-    first = usable[0]
-    config = first.task.config
-    target = config.hash_power_target
-    result = ExperimentResult(
-        name=name if name is not None else first.task.experiment, config=config
-    )
-
-    protocols: list[str] = []
-    per_protocol_90: dict[str, list[DelayCurve]] = {}
-    per_protocol_50: dict[str, list[DelayCurve]] = {}
-    for record in usable:
-        protocol = record.task.protocol
-        if protocol not in per_protocol_90:
-            protocols.append(protocol)
-            per_protocol_90[protocol] = []
-            per_protocol_50[protocol] = []
-        per_protocol_90[protocol].append(
-            delay_curve(np.asarray(record.reach90, dtype=float), protocol, target)
-        )
-        per_protocol_50[protocol].append(
-            delay_curve(np.asarray(record.reach50, dtype=float), protocol, 0.5)
-        )
-        if record.histogram is not None and protocol not in result.histograms:
-            result.histograms[protocol] = _histogram_from_payload(record.histogram)
-
-    for protocol in protocols:
-        result.curves[protocol] = mean_curve(
-            per_protocol_90[protocol], protocol, target
-        )
-        result.curves_50[protocol] = mean_curve(per_protocol_50[protocol], protocol, 0.5)
-    return result
+    aggregator = StreamingAggregator(name=name)
+    aggregator.extend(records)
+    return aggregator.result(name=name, strict=strict)

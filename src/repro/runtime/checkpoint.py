@@ -1,0 +1,194 @@
+"""On-disk simulator checkpoints for resumable long-horizon tasks.
+
+Layout inside a result-store directory::
+
+    <store>/checkpoints/<task-hash>/round-<k>.json
+
+Each file is a complete :meth:`repro.core.simulator.Simulator.state_dict`
+snapshot taken after round ``k`` (1-based count of completed rounds), written
+via temp-file + atomic rename so a reader — or a worker resuming a reclaimed
+lease — never observes a partial snapshot.  Retention is bounded: only the
+newest :data:`DEFAULT_RETENTION` snapshots per task are kept, so a
+multi-thousand-round run costs a constant amount of disk.
+
+The round number is encoded in the filename (zero-padded so lexicographic
+order equals numeric order), which lets the cluster queue answer "has this
+task made forward progress since the last reclaim?" from a directory listing
+alone, without parsing snapshot JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import secrets
+import shutil
+import time
+from pathlib import Path
+from typing import Iterator
+
+CHECKPOINTS_DIRNAME = "checkpoints"
+
+#: Snapshots kept per task; the newest is what resume uses, the one before it
+#: survives as insurance against a crash mid-rename on filesystems without
+#: atomic replace semantics.
+DEFAULT_RETENTION = 2
+
+_ROUND_FILE = re.compile(r"^round-(\d{8})\.json$")
+
+
+def checkpoints_dir(store_dir: str | os.PathLike) -> Path:
+    """Root checkpoint directory of a result store."""
+    return Path(store_dir) / CHECKPOINTS_DIRNAME
+
+
+def task_checkpoint_dir(store_dir: str | os.PathLike, key: str) -> Path:
+    """Checkpoint directory of one task, keyed by content hash."""
+    return checkpoints_dir(store_dir) / key
+
+
+def checkpoint_path(directory: Path, rounds_completed: int) -> Path:
+    """Snapshot filename for a given number of completed rounds."""
+    return directory / f"round-{rounds_completed:08d}.json"
+
+
+def write_checkpoint(
+    directory: Path,
+    state: dict,
+    retention: int = DEFAULT_RETENTION,
+) -> Path:
+    """Atomically persist one snapshot and prune beyond ``retention``.
+
+    ``state`` must carry ``rounds_completed`` (a
+    :meth:`Simulator.state_dict` snapshot always does); it names the file.
+    """
+    rounds_completed = int(state["rounds_completed"])
+    directory.mkdir(parents=True, exist_ok=True)
+    target = checkpoint_path(directory, rounds_completed)
+    tmp_path = target.with_name(
+        f".{target.name}.tmp-{os.getpid()}-{secrets.token_hex(3)}"
+    )
+    with tmp_path.open("w", encoding="utf-8") as handle:
+        json.dump(state, handle, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    tmp_path.replace(target)
+    if retention > 0:
+        rounds = sorted(_iter_round_files(directory))
+        for _, stale in rounds[:-retention]:
+            try:
+                stale.unlink()
+            except FileNotFoundError:  # pragma: no cover - concurrent prune
+                pass
+    return target
+
+
+def _iter_round_files(directory: Path) -> Iterator[tuple[int, Path]]:
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return
+    for name in names:
+        match = _ROUND_FILE.match(name)
+        if match:
+            yield int(match.group(1)), directory / name
+
+
+def newest_checkpoint_round(directory: Path) -> int | None:
+    """Highest completed-round number on disk, from filenames alone."""
+    rounds = [round_number for round_number, _ in _iter_round_files(directory)]
+    return max(rounds) if rounds else None
+
+
+def latest_checkpoint(directory: Path) -> dict | None:
+    """Load the newest parseable snapshot, or ``None`` when there is none.
+
+    Corrupt files (e.g. a snapshot written by a kernel that lied about
+    fsync) are skipped, falling back to the next-newest snapshot — which is
+    why retention keeps more than one.
+    """
+    for _, path in sorted(_iter_round_files(directory), reverse=True):
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(payload, dict):
+            return payload
+    return None
+
+
+def clear_task_checkpoints(store_dir: str | os.PathLike, key: str) -> bool:
+    """Remove a completed task's checkpoint directory; True if one existed."""
+    directory = task_checkpoint_dir(store_dir, key)
+    if not directory.is_dir():
+        return False
+    shutil.rmtree(directory, ignore_errors=True)
+    return True
+
+
+def list_checkpoints(store_dir: str | os.PathLike) -> list[dict]:
+    """Inventory of checkpoint artifacts, one entry per task key.
+
+    Each entry carries the task key, newest completed round, snapshot count,
+    total size in bytes, and the age (seconds since the newest snapshot was
+    written).  Sorted newest-first so active tasks lead the listing.
+    """
+    root = checkpoints_dir(store_dir)
+    if not root.is_dir():
+        return []
+    now = time.time()
+    entries: list[dict] = []
+    for task_dir in sorted(root.iterdir()):
+        if not task_dir.is_dir():
+            continue
+        rounds = sorted(_iter_round_files(task_dir))
+        if not rounds:
+            continue
+        size = 0
+        newest_mtime = 0.0
+        for _, path in rounds:
+            try:
+                stat = path.stat()
+            except FileNotFoundError:  # pragma: no cover - concurrent prune
+                continue
+            size += stat.st_size
+            newest_mtime = max(newest_mtime, stat.st_mtime)
+        entries.append(
+            {
+                "key": task_dir.name,
+                "round": rounds[-1][0],
+                "snapshots": len(rounds),
+                "bytes": size,
+                "age_s": max(0.0, now - newest_mtime),
+            }
+        )
+    entries.sort(key=lambda entry: entry["age_s"])
+    return entries
+
+
+def prune_checkpoints(
+    store_dir: str | os.PathLike, keys: set[str] | None = None
+) -> int:
+    """Remove checkpoint directories; all of them when ``keys`` is ``None``.
+
+    Returns the number of task directories removed.  Used by
+    ``ResultStore.compact()`` (completed tasks only) and the
+    ``perigee-sim checkpoints --prune`` command.
+    """
+    root = checkpoints_dir(store_dir)
+    if not root.is_dir():
+        return 0
+    removed = 0
+    for task_dir in sorted(root.iterdir()):
+        if not task_dir.is_dir():
+            continue
+        if keys is not None and task_dir.name not in keys:
+            continue
+        shutil.rmtree(task_dir, ignore_errors=True)
+        removed += 1
+    try:
+        root.rmdir()  # tidy up when everything is gone; fails harmlessly
+    except OSError:
+        pass
+    return removed

@@ -42,6 +42,10 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.runtime.checkpoint import (
+    newest_checkpoint_round,
+    task_checkpoint_dir,
+)
 from repro.runtime.store import (
     ResultStore,
     iter_jsonl_payloads,
@@ -338,6 +342,16 @@ class WorkQueue:
         bumps the durable per-key reclaim counter *before* deleting the
         tombstone, so attempt accounting survives any interleaving of
         racing claimers.
+
+        **Checkpoint forgiveness**: ``max_attempts`` exists to stop a task
+        that keeps killing its workers from being retried forever.  A task
+        that left a *newer checkpoint* than the last accounting saw is the
+        opposite of that — it made durable forward progress and the next
+        claim resumes from the snapshot rather than repeating work — so the
+        reclaim records the new high-water round instead of burning an
+        attempt.  A task that crashes without advancing its checkpoint
+        (including checkpointing disabled entirely) consumes attempts
+        exactly as before.
         """
         try:
             age = time.time() - lease_path.stat().st_mtime
@@ -355,25 +369,59 @@ class WorkQueue:
             return False
         tombstone.unlink(missing_ok=True)
         get_recorder().incr("queue.reclaims")
-        reclaims = self._read_reclaims(key) + 1
-        self._write_reclaims(key, reclaims)
+        reclaims, seen_round = self._read_attempts(key)
+        progress = newest_checkpoint_round(
+            task_checkpoint_dir(self.store.directory, key)
+        )
+        if progress is not None and progress > seen_round:
+            self._write_attempts(key, reclaims, progress)
+            get_recorder().incr("queue.reclaims_forgiven")
+            return True
+        reclaims += 1
+        self._write_attempts(key, reclaims, seen_round)
         if reclaims + 1 > self.max_attempts:  # next claim would exceed the cap
             self._record_exhausted(key, task_path, reclaims)
             return False
         return True
 
     def _read_reclaims(self, key: str) -> int:
-        """How many times this task's lease has expired and been reclaimed."""
-        try:
-            return int(self._attempts_path(key).read_text(encoding="utf-8"))
-        except (OSError, ValueError):
-            return 0
+        """How many times this task's lease expired without checkpointed progress."""
+        return self._read_attempts(key)[0]
 
-    def _write_reclaims(self, key: str, reclaims: int) -> None:
+    def _read_attempts(self, key: str) -> tuple[int, int]:
+        """Durable attempt accounting: ``(reclaims, checkpoint high-water round)``.
+
+        The file holds JSON ``{"reclaims": n, "round": r}``; a plain integer
+        (the pre-checkpoint format) is read as ``(n, -1)`` so mixed-version
+        fleets sharing a store keep counting correctly.
+        """
+        try:
+            text = self._attempts_path(key).read_text(encoding="utf-8")
+        except OSError:
+            return 0, -1
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            return 0, -1
+        if isinstance(payload, int):
+            return payload, -1
+        if isinstance(payload, dict):
+            try:
+                return int(payload.get("reclaims", 0)), int(
+                    payload.get("round", -1)
+                )
+            except (TypeError, ValueError):
+                return 0, -1
+        return 0, -1
+
+    def _write_attempts(self, key: str, reclaims: int, seen_round: int) -> None:
         path = self._attempts_path(key)
         tmp = path.with_name(f".{path.name}.tmp-{secrets.token_hex(4)}")
         try:
-            tmp.write_text(str(reclaims), encoding="utf-8")
+            tmp.write_text(
+                json.dumps({"reclaims": reclaims, "round": seen_round}),
+                encoding="utf-8",
+            )
             tmp.replace(path)
         except OSError:
             tmp.unlink(missing_ok=True)

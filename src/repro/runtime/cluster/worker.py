@@ -77,6 +77,15 @@ class Worker:
         this flag, tasks that were submitted with ``flight=True`` carry the
         request in their queue JSON and are recorded anyway — artifacts land
         under ``<store>/runs/<hash>/``.
+    checkpoint_every:
+        When positive, checkpoint *every* task this worker executes at this
+        round interval (what ``perigee-sim worker --checkpoint-every`` sets),
+        overriding the per-task interval.  Independently of this override,
+        tasks submitted with ``checkpoint_every > 0`` carry the request in
+        their queue JSON.  Either way, a claimed task whose checkpoint
+        directory holds a snapshot — typically a lease reclaimed from a
+        killed worker — resumes from the newest snapshot instead of
+        restarting at round zero.
     """
 
     def __init__(
@@ -89,9 +98,12 @@ class Worker:
         run: RunFunction = run_task,
         telemetry: bool = False,
         flight: bool = False,
+        checkpoint_every: int = 0,
     ) -> None:
         if poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
         resolved = store if isinstance(store, ResultStore) else ResultStore(store)
         self.worker_id = (
             sanitize_writer_id(worker_id)
@@ -104,15 +116,21 @@ class Worker:
         )
         self.poll_interval = float(poll_interval)
         self.flight = bool(flight)
+        self.checkpoint_every = int(checkpoint_every)
         # The default run function gains this store as the flight-artifact
-        # root so task-level `flight` flags (and the worker override) take
-        # effect.  Custom run functions — including partials execute_sweep
-        # already bound to a store — pass through untouched.
+        # and checkpoint root so task-level `flight`/`checkpoint_every`
+        # flags (and the worker overrides) take effect.  Custom run
+        # functions — including partials execute_sweep already bound to a
+        # store — pass through untouched.
         if run is run_task:
             run = functools.partial(
                 run_task,
                 flight_store=self.store.directory,
                 force_flight=self.flight,
+                checkpoint_store=self.store.directory,
+                checkpoint_every=(
+                    self.checkpoint_every if self.checkpoint_every > 0 else None
+                ),
             )
         self.run_function = run
         self.telemetry = bool(telemetry)

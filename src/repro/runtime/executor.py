@@ -27,6 +27,12 @@ from repro.core.simulator import Simulator
 from repro.metrics.evaluator import DelayEvaluator
 from repro.metrics.topology import edge_latency_histogram
 from repro.protocols.registry import make_protocol
+from repro.runtime.checkpoint import (
+    clear_task_checkpoints,
+    latest_checkpoint,
+    task_checkpoint_dir,
+    write_checkpoint,
+)
 from repro.runtime.scenarios import Scenario, get_scenario
 from repro.runtime.store import ResultStore
 from repro.runtime.tasks import SweepSpec, Task, TaskRecord
@@ -60,6 +66,8 @@ def run_task(
     scenario: Scenario | None = None,
     flight_store: str | os.PathLike | None = None,
     force_flight: bool = False,
+    checkpoint_store: str | os.PathLike | None = None,
+    checkpoint_every: int | None = None,
 ) -> TaskRecord:
     """Execute one task and return its record (never raises).
 
@@ -80,6 +88,18 @@ def run_task(
         recording never changes the returned record.
     force_flight:
         Flight-record even when ``task.flight`` is unset.
+    checkpoint_store:
+        Store directory under which periodic simulator checkpoints land
+        (``<checkpoint_store>/checkpoints/<hash>/``).  Checkpointing happens
+        only when this is set and the effective interval is positive.  If
+        the directory already holds a snapshot for this task (a previous
+        attempt was interrupted), execution resumes from it — bit-identical
+        to an uninterrupted run — instead of restarting at round zero.
+        Checkpoints are removed once the task succeeds.
+    checkpoint_every:
+        Override of ``task.checkpoint_every`` (``None`` keeps the task's
+        value; a ``worker --checkpoint-every`` override passes a positive
+        interval here).
     """
     start = time.perf_counter()
     key = task.content_hash()
@@ -117,9 +137,54 @@ def run_task(
                 rng=np.random.default_rng(task.protocol_seed()),
                 delay_evaluator=evaluator,
             )
+            effective_every = (
+                task.checkpoint_every
+                if checkpoint_every is None
+                else checkpoint_every
+            )
+            checkpoint_dir = None
+            start_round = 0
+            if (
+                protocol.is_adaptive
+                and checkpoint_store is not None
+                and effective_every > 0
+            ):
+                checkpoint_dir = task_checkpoint_dir(checkpoint_store, key)
+                state = latest_checkpoint(checkpoint_dir)
+                if state is not None:
+                    try:
+                        simulator.load_state_dict(state)
+                    except (KeyError, TypeError, ValueError):
+                        # An unreadable or mismatched snapshot must never
+                        # poison the run: fall back to round zero.
+                        recorder.incr(
+                            "task.checkpoint_invalid", protocol=task.protocol
+                        )
+                    else:
+                        start_round = min(
+                            simulator.rounds_completed, task.rounds
+                        )
+                        recorder.incr("task.resumed", protocol=task.protocol)
             if protocol.is_adaptive:
-                for round_index in range(task.rounds):
+                for round_index in range(start_round, task.rounds):
                     simulator.run_round(round_index)
+                    completed = round_index + 1
+                    # No snapshot after the final round: the record itself
+                    # is about to persist, making the checkpoint dead weight.
+                    if (
+                        checkpoint_dir is not None
+                        and completed % effective_every == 0
+                        and completed < task.rounds
+                    ):
+                        with recorder.span(
+                            "task.checkpoint", protocol=task.protocol
+                        ):
+                            write_checkpoint(
+                                checkpoint_dir, simulator.state_dict()
+                            )
+                        recorder.incr(
+                            "task.checkpoints_written", protocol=task.protocol
+                        )
             # One evaluation pass covers both targets: the chunked (or
             # sampled) Dijkstra passes are shared, only the reach
             # computation differs.
@@ -141,6 +206,10 @@ def run_task(
                     )
                 )
         recorder.incr("task.ok", protocol=task.protocol)
+        # A finished task's snapshots are dead weight; failed tasks keep
+        # theirs so a retry resumes instead of restarting.
+        if checkpoint_store is not None:
+            clear_task_checkpoints(checkpoint_store, key)
         return TaskRecord(
             key=key,
             task=task,
@@ -333,7 +402,11 @@ def execute_sweep(
     """
     executor = executor if executor is not None else SerialExecutor()
     if store is not None and run is run_task:
-        run = functools.partial(run_task, flight_store=store.directory)
+        run = functools.partial(
+            run_task,
+            flight_store=store.directory,
+            checkpoint_store=store.directory,
+        )
     tasks = spec.expand()
     cached: dict[str, TaskRecord] = {}
     if store is not None:

@@ -96,11 +96,17 @@ class CompactionResult:
     lines_before:
         Record lines read across all files before compaction (duplicates
         from reclaimed leases and superseded failures included).
+    checkpoints_removed:
+        Checkpoint directories of successfully completed tasks deleted by
+        the compaction (a leftover snapshot of a finished task is pure dead
+        weight — resume would be ignored because the record is served from
+        the store).
     """
 
     records: int
     shards_removed: int
     lines_before: int
+    checkpoints_removed: int = 0
 
 
 class ResultStore:
@@ -162,6 +168,16 @@ class ResultStore:
         by ``perigee-sim status``/``serve`` (see :mod:`repro.telemetry.shards`).
         """
         return self._directory / "telemetry"
+
+    @property
+    def checkpoints_dir(self) -> Path:
+        """Directory of simulator checkpoints (``checkpoints/<hash>/``).
+
+        Written by executors running checkpoint-enabled tasks; consumed on
+        resume and by ``perigee-sim checkpoints`` (see
+        :mod:`repro.runtime.checkpoint`).
+        """
+        return self._directory / "checkpoints"
 
     @property
     def runs_dir(self) -> Path:
@@ -267,10 +283,23 @@ class ResultStore:
                 path.unlink()
             except FileNotFoundError:  # pragma: no cover - concurrent cleanup
                 pass
+        # Checkpoints of completed tasks are unreachable (resume consults
+        # the store first), so compaction sweeps them with the shards.
+        from repro.runtime.checkpoint import prune_checkpoints
+
+        completed_keys = {
+            key for key, record in merged.items() if record.ok
+        }
+        checkpoints_removed = (
+            prune_checkpoints(self._directory, keys=completed_keys)
+            if completed_keys
+            else 0
+        )
         return CompactionResult(
             records=len(merged),
             shards_removed=len(shard_files),
             lines_before=lines_before,
+            checkpoints_removed=checkpoints_removed,
         )
 
     def __contains__(self, key: str) -> bool:

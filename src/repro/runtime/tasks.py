@@ -99,6 +99,12 @@ class Task:
         bit-identical, so this flag is deliberately **excluded** from the
         content hash: a recorded and an unrecorded run produce the same
         record, and cached results stay valid either way.
+    checkpoint_every:
+        Write a simulator checkpoint every this many rounds while the task
+        executes (``0`` disables checkpointing).  Like ``flight`` this is
+        execution policy, not task identity: resume from a checkpoint is
+        bit-identical to an uninterrupted run, so the field is **excluded**
+        from the content hash and cached records stay valid either way.
     """
 
     experiment: str
@@ -111,6 +117,7 @@ class Task:
     collect_histogram: bool = False
     evaluation_json: str = "{}"
     flight: bool = False
+    checkpoint_every: int = 0
 
     @property
     def config(self) -> SimulationConfig:
@@ -174,6 +181,7 @@ class Task:
             "collect_histogram": self.collect_histogram,
             "evaluation": json.loads(self.evaluation_json),
             "flight": self.flight,
+            "checkpoint_every": self.checkpoint_every,
         }
 
     @classmethod
@@ -189,6 +197,7 @@ class Task:
             collect_histogram=bool(data.get("collect_histogram", False)),
             evaluation_json=canonical_json(data.get("evaluation", {})),
             flight=bool(data.get("flight", False)),
+            checkpoint_every=int(data.get("checkpoint_every", 0)),
         )
 
 
@@ -281,6 +290,10 @@ class SweepSpec:
     flight:
         Ask executing workers to flight-record every task of the sweep
         (hash-neutral; see :attr:`Task.flight`).
+    checkpoint_every:
+        Ask executors to checkpoint every task of the sweep at this round
+        interval (``0`` disables; hash-neutral, see
+        :attr:`Task.checkpoint_every`).
     """
 
     name: str
@@ -293,6 +306,7 @@ class SweepSpec:
     collect_histograms: bool = False
     evaluation: Mapping[str, Any] = field(default_factory=dict)
     flight: bool = False
+    checkpoint_every: int = 0
 
     def __post_init__(self) -> None:
         if not self.protocols:
@@ -301,6 +315,8 @@ class SweepSpec:
             raise ValueError("repeats must be positive")
         if self.rounds is not None and self.rounds < 1:
             raise ValueError("rounds must be positive when given")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
 
     @property
     def effective_rounds(self) -> int:
@@ -331,6 +347,7 @@ class SweepSpec:
                     collect_histogram=self.collect_histograms and repeat == 0,
                     evaluation_json=evaluation_json,
                     flight=self.flight,
+                    checkpoint_every=self.checkpoint_every,
                 )
 
     def to_dict(self) -> dict[str, Any]:
@@ -346,6 +363,7 @@ class SweepSpec:
             "collect_histograms": self.collect_histograms,
             "evaluation": dict(self.evaluation),
             "flight": self.flight,
+            "checkpoint_every": self.checkpoint_every,
         }
 
     @classmethod
@@ -361,4 +379,5 @@ class SweepSpec:
             collect_histograms=bool(data.get("collect_histograms", False)),
             evaluation=dict(data.get("evaluation", {})),
             flight=bool(data.get("flight", False)),
+            checkpoint_every=int(data.get("checkpoint_every", 0)),
         )

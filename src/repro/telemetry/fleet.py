@@ -22,6 +22,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.runtime.aggregate import StreamingAggregator
+from repro.runtime.checkpoint import list_checkpoints
 from repro.runtime.store import ResultStore
 from repro.telemetry.recorder import split_key
 from repro.telemetry.shards import load_worker_snapshots, merge_snapshots
@@ -65,6 +67,13 @@ def _sweep_entries(store: ResultStore) -> list[dict[str, Any]]:
     failed_counts: dict[str, int] = {name: 0 for name in specs}
     traces: dict[str, list[dict[str, float]]] = {name: [] for name in specs}
     seen: dict[str, set[str]] = {name: set() for name in specs}
+    # Streaming per-protocol mean curves: whatever subset of the sweep has
+    # completed so far is folded into a running element-wise sum, so the
+    # partial curves below converge on the exact final aggregation as the
+    # drain progresses.
+    aggregators: dict[str, StreamingAggregator] = {
+        name: StreamingAggregator(name) for name in specs
+    }
     # Records are read in shard append order, so the trace extends as the
     # fleet completes tasks — a live convergence view of a draining sweep.
     for record in store.iter_records():
@@ -76,6 +85,10 @@ def _sweep_entries(store: ResultStore) -> list[dict[str, Any]]:
             failed_counts[name] += 1
             continue
         ok_counts[name] += 1
+        try:
+            aggregators[name].add(record)
+        except ValueError:  # mismatched curve lengths; skip the partial view
+            pass
         if record.reach90:
             ok_values[name].extend(record.reach90)
             stride = max(1, totals[name] // MAX_TRACE_POINTS)
@@ -103,9 +116,23 @@ def _sweep_entries(store: ResultStore) -> list[dict[str, Any]]:
                 ),
                 "reach90_ms": _percentiles(finite),
                 "trace": traces[name],
+                "curves": aggregators[name].partial_summary(),
             }
         )
     return entries
+
+
+def _checkpoint_summary(store: ResultStore) -> dict[str, Any]:
+    """In-flight checkpoint artifacts: how many tasks could resume, and from
+    how far in (the newest round across all snapshots)."""
+    entries = list_checkpoints(store.directory)
+    return {
+        "tasks": len(entries),
+        "bytes": sum(entry["bytes"] for entry in entries),
+        "newest_round": max(
+            (entry["round"] for entry in entries), default=None
+        ),
+    }
 
 
 def _throughput(
@@ -174,6 +201,7 @@ def fleet_status(
             for lease in status.leases
         ],
         "throughput": _throughput(records, queue_payload, workers),
+        "checkpoints": _checkpoint_summary(store),
         "sweeps": _sweep_entries(store),
         "telemetry": {
             "workers": snapshots,
@@ -218,6 +246,13 @@ def render_status_text(payload: dict[str, Any]) -> str:
                 f"last seen {worker['last_seen_s']:6.1f}s ago  "
                 f"completed {worker['completed']}{claims}"
             )
+    checkpoints = payload.get("checkpoints") or {}
+    if checkpoints.get("tasks"):
+        lines.append(
+            f"checkpoints: {checkpoints['tasks']} resumable task(s), "
+            f"{checkpoints['bytes'] / 1024:.0f} KiB, "
+            f"newest at round {checkpoints['newest_round']}"
+        )
     for sweep in payload.get("sweeps", []):
         done = sweep["tasks_ok"] + sweep["tasks_failed"]
         line = (
@@ -228,6 +263,14 @@ def render_status_text(payload: dict[str, Any]) -> str:
         if reach is not None:
             line += f", reach90 p50 {reach['p50']:.1f}ms"
         lines.append(line)
+        for protocol, curve in (sweep.get("curves") or {}).items():
+            if "p90_ms" not in curve:
+                continue
+            lines.append(
+                f"  {protocol:<24} mean curve p50 {curve['p50_ms']:7.1f}ms  "
+                f"p90 {curve['p90_ms']:7.1f}ms  "
+                f"({curve['repeats']} repeat(s) in)"
+            )
     return "\n".join(lines)
 
 
@@ -365,6 +408,33 @@ def prometheus_text(payload: dict[str, Any]) -> str:
                     "Pooled per-source 90%-hash-power reach time.",
                     reach[key], {**tags, "quantile": quantile},
                 )
+        for protocol, curve in (sweep.get("curves") or {}).items():
+            if "p90_ms" not in curve:
+                continue
+            curve_tags = {**tags, "protocol": protocol}
+            writer.sample(
+                "perigee_sweep_curve_repeats", "gauge",
+                "Successful repeats folded into the partial mean curve.",
+                curve["repeats"], curve_tags,
+            )
+            for quantile, key in (("0.5", "p50_ms"), ("0.9", "p90_ms")):
+                writer.sample(
+                    "perigee_sweep_curve_milliseconds", "gauge",
+                    "Percentile of the streaming partial mean delay curve.",
+                    curve[key], {**curve_tags, "quantile": quantile},
+                )
+    checkpoints = payload.get("checkpoints") or {}
+    if checkpoints:
+        writer.sample(
+            "perigee_checkpoint_tasks", "gauge",
+            "Tasks with a resumable checkpoint on disk.",
+            checkpoints.get("tasks", 0),
+        )
+        writer.sample(
+            "perigee_checkpoint_bytes", "gauge",
+            "Total size of checkpoint snapshots on disk.",
+            checkpoints.get("bytes", 0),
+        )
     # Per-worker recorder metrics: counters, gauges, span summaries.
     for worker_id, snapshot in payload["telemetry"]["workers"].items():
         base = {"worker": worker_id}

@@ -637,6 +637,67 @@ class TestEndToEndCLI:
         serial = execute_sweep(spec, executor=SerialExecutor())
         assert_byte_identical(clustered, serial)
 
+    def test_killed_worker_resumes_from_checkpoint_byte_identical(
+        self, tmp_path
+    ):
+        """Acceptance: SIGKILL a checkpointing worker mid-task; another
+        worker reclaims the lease, resumes from the snapshot, and the final
+        records are byte-identical to an uninterrupted serial run."""
+        store = tmp_path / "runs"
+        grid = ["--num-nodes", "40", "--rounds", "8", "--seed", "3"]
+        _wait(_cli(["submit", "figure3a", *grid], store))
+
+        victim = _cli(
+            [
+                "worker", "--lease-ttl", "2", "--poll-interval", "0.1",
+                "--checkpoint-every", "1",
+            ],
+            store,
+        )
+        # Kill the victim as soon as it has durably checkpointed mid-task:
+        # it can neither complete the task nor clear the snapshot.
+        checkpoint_root = store / "checkpoints"
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            if checkpoint_root.is_dir() and any(
+                checkpoint_root.glob("*/round-*.json")
+            ):
+                break
+            time.sleep(0.02)
+        else:
+            victim.kill()
+            pytest.fail("victim worker never wrote a checkpoint")
+        victim.send_signal(signal.SIGKILL)
+        victim.communicate(timeout=30)
+        assert any(checkpoint_root.glob("*/round-*.json"))
+
+        survivor = _cli(
+            [
+                "worker", "--drain", "--telemetry",
+                "--lease-ttl", "2", "--poll-interval", "0.1",
+                "--checkpoint-every", "1",
+            ],
+            store,
+        )
+        _wait(survivor)
+
+        from repro.analysis.experiments import figure3a_spec
+
+        spec = figure3a_spec(num_nodes=40, rounds=8, seed=3)
+        clustered = execute_sweep(spec, store=ResultStore(store))
+        assert all(record.cached for record in clustered)
+        serial = execute_sweep(spec, executor=SerialExecutor())
+        assert_byte_identical(clustered, serial)
+        # The survivor resumed the reclaimed task from its snapshot rather
+        # than restarting it (its metric shard records the resume) ...
+        telemetry = "".join(
+            path.read_text()
+            for path in (store / "telemetry").glob("metrics-*.jsonl")
+        )
+        assert "task.resumed" in telemetry
+        # ... and completed tasks leave no snapshots behind.
+        assert not any(checkpoint_root.glob("*/round-*.json"))
+
     def test_worker_killed_mid_sweep_is_reclaimed(self, tmp_path):
         """Acceptance: kill one of two workers mid-sweep; the survivor
         reclaims its leases after expiry and the aggregate stays
