@@ -1,0 +1,154 @@
+"""Benchmark of the fault-injection plane's overhead on the durable-IO path.
+
+The hardened runtime threads a ``get_fault_plane().fire(...)`` call and a
+retry wrapper through every durable-IO seam, and the contract is that the
+default :class:`~repro.runtime.faults.NullFaultPlane` keeps clean runs
+near-free.  This bench measures three things on a store append+load loop —
+the hottest hardened seam:
+
+* the **null arm**: appends and loads under the default null plane;
+* the **armed-idle arm**: the same work under a live
+  :class:`~repro.runtime.faults.FaultPlane` whose plan matches nothing, so
+  the cost measured is hit counting alone (the worst clean-run case a
+  misconfigured environment could impose);
+* the raw per-call cost of ``NullFaultPlane.fire`` and of a no-failure
+  :func:`~repro.runtime.retry.retry` wrap, the two primitives every seam
+  pays.
+
+The two arms must produce byte-identical store contents, and at CI scale
+only a loose sanity bound is asserted on the armed overhead (timing noise
+dominates sub-millisecond IO); the per-call primitive costs are what the
+BENCH-JSON record tracks over time.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.config import default_config
+from repro.runtime.faults import (
+    NULL_FAULT_PLANE,
+    FaultPlan,
+    FaultPlane,
+    FaultRule,
+    use_fault_plane,
+)
+from repro.runtime.retry import NO_RETRY, retry
+from repro.runtime.store import ResultStore
+from repro.runtime.tasks import SweepSpec, TaskRecord
+
+from benchmarks.conftest import emit_bench_json, print_banner
+
+APPENDS = int(os.environ.get("PERIGEE_BENCH_FAULT_APPENDS", "200"))
+FIRE_CALLS = int(os.environ.get("PERIGEE_BENCH_FAULT_FIRES", "100000"))
+REPEATS = int(os.environ.get("PERIGEE_BENCH_FAULT_REPEATS", "3"))
+
+#: Sanity bound on the armed-idle arm at CI scale; the real contract (<5%
+#: wall-clock on the simulation loop) is enforced by the telemetry bench,
+#: where rounds are expensive enough for the bound to be meaningful.
+LOOSE_OVERHEAD = 2.0
+
+
+def _make_records(count: int) -> list[TaskRecord]:
+    config = default_config(
+        num_nodes=30, rounds=2, blocks_per_round=8, seed=0
+    )
+    spec = SweepSpec(
+        name="bench-faults",
+        config=config,
+        protocols=("random",),
+        repeats=count,
+    )
+    return [
+        TaskRecord(
+            key=task.content_hash(),
+            task=task,
+            status="ok",
+            duration_s=0.5,
+            reach90=[float(index), float(index) * 2.0],
+            reach50=[float(index)],
+        )
+        for index, task in enumerate(spec.expand())
+    ]
+
+
+def _store_arm(directory, records) -> tuple[float, bytes]:
+    """(seconds, results file bytes) for one append+load pass."""
+    store = ResultStore(directory)
+    start = time.perf_counter()
+    for record in records:
+        store.append(record)
+    loaded = store.load()
+    elapsed = time.perf_counter() - start
+    assert len(loaded) == len(records)
+    return elapsed, store.results_path.read_bytes()
+
+
+def test_null_fault_plane_overhead(tmp_path):
+    records = _make_records(APPENDS)
+    # An armed plane whose only rule targets a point the loop never hits:
+    # every fire() pays hit counting + rule scan, nothing ever triggers.
+    idle_plane = FaultPlane(
+        FaultPlan(rules=(FaultRule(point="never.hit", action="raise"),))
+    )
+
+    null_s = armed_s = float("inf")
+    null_bytes = armed_bytes = b""
+    for repeat in range(REPEATS):
+        elapsed, payload = _store_arm(
+            tmp_path / f"null-{repeat}", records
+        )
+        if elapsed < null_s:
+            null_s, null_bytes = elapsed, payload
+        with use_fault_plane(idle_plane):
+            elapsed, payload = _store_arm(
+                tmp_path / f"armed-{repeat}", records
+            )
+        if elapsed < armed_s:
+            armed_s, armed_bytes = elapsed, payload
+
+    assert null_bytes == armed_bytes, (
+        "an idle fault plane must not change what lands on disk"
+    )
+    overhead = armed_s / null_s - 1.0
+    assert overhead < LOOSE_OVERHEAD, (
+        f"armed-idle store loop {overhead:.1%} over null arm "
+        f"(bound {LOOSE_OVERHEAD:.0%})"
+    )
+
+    start = time.perf_counter()
+    for _ in range(FIRE_CALLS):
+        NULL_FAULT_PLANE.fire("store.append")
+    null_fire_ns = (time.perf_counter() - start) / FIRE_CALLS * 1e9
+
+    start = time.perf_counter()
+    for _ in range(FIRE_CALLS):
+        idle_plane.fire("store.append")
+    armed_fire_ns = (time.perf_counter() - start) / FIRE_CALLS * 1e9
+
+    def noop() -> int:
+        return 1
+
+    start = time.perf_counter()
+    for _ in range(FIRE_CALLS):
+        retry(noop, NO_RETRY, name="bench")
+    retry_ns = (time.perf_counter() - start) / FIRE_CALLS * 1e9
+
+    print_banner("Fault-plane overhead (null vs armed-idle)")
+    print(f"store append+load x{APPENDS}: null {null_s * 1e3:.1f} ms, "
+          f"armed-idle {armed_s * 1e3:.1f} ms ({overhead:+.1%})")
+    print(f"fire(): null {null_fire_ns:.0f} ns, armed-idle "
+          f"{armed_fire_ns:.0f} ns; retry() wrap {retry_ns:.0f} ns")
+    emit_bench_json(
+        {
+            "bench": "faults_null_overhead",
+            "appends": APPENDS,
+            "null_store_s": round(null_s, 6),
+            "armed_store_s": round(armed_s, 6),
+            "armed_overhead": round(overhead, 4),
+            "null_fire_ns": round(null_fire_ns, 1),
+            "armed_fire_ns": round(armed_fire_ns, 1),
+            "retry_wrap_ns": round(retry_ns, 1),
+        }
+    )

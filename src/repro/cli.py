@@ -59,6 +59,15 @@ uninterrupted run — instead of restarting at round zero::
     perigee-sim checkpoints --store runs/          # list resumable state
     perigee-sim checkpoints --store runs/ --prune  # drop completed tasks'
 
+Fault injection: every worker process arms a fault plane from the
+``PERIGEE_FAULT_PLAN`` environment variable (inline JSON or a file path),
+and ``perigee-sim chaos`` closes the loop — it drains a real sweep through
+a small worker fleet under a seeded schedule of crashes, torn writes,
+injected IO errors and heartbeat delays, then asserts the surviving records
+are byte-identical to a fault-free serial run::
+
+    perigee-sim chaos --root /tmp/chaos --seed 7 [--json]
+
 The CLI intentionally exposes only the experiment-level knobs (size, rounds,
 repeats, seed, workers, store); anything finer grained is available through
 the Python API.
@@ -85,7 +94,9 @@ from repro.analysis.reporting import (
     render_task_progress,
 )
 from repro.runtime.aggregate import records_to_result
+from repro.runtime.chaos import DEFAULT_CHAOS_ACTIONS
 from repro.runtime.executor import execute_sweep, make_executor
+from repro.runtime.faults import install_fault_plane_from_env
 from repro.runtime.store import ResultStore
 from repro.version import __version__
 
@@ -368,6 +379,111 @@ def build_parser() -> argparse.ArgumentParser:
         "--blocks", type=int, default=20, help="blocks mined per round"
     )
     trace_parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help=(
+            "drain a real sweep through a worker fleet under a seeded "
+            "fault schedule and assert the records are byte-identical to a "
+            "fault-free serial run"
+        ),
+    )
+    chaos_parser.add_argument(
+        "experiment",
+        nargs="?",
+        default="figure5",
+        choices=list(EXPERIMENTS),
+        help="experiment to drain (default figure5)",
+    )
+    chaos_parser.add_argument(
+        "--root",
+        required=True,
+        help="working directory (gains serial/ and chaos/ store dirs)",
+    )
+    chaos_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seeds both the sweep and the fault schedule",
+    )
+    chaos_parser.add_argument(
+        "--num-nodes", type=int, default=40, help="number of nodes"
+    )
+    chaos_parser.add_argument(
+        "--rounds", type=int, default=2, help="protocol rounds"
+    )
+    chaos_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="independent latency draws (ignored by figure5)",
+    )
+    chaos_parser.add_argument(
+        "--fleet",
+        type=int,
+        default=2,
+        help="worker subprocesses kept alive while draining",
+    )
+    chaos_parser.add_argument(
+        "--fires",
+        type=int,
+        default=3,
+        help="fault rules per worker incarnation",
+    )
+    chaos_parser.add_argument(
+        "--max-at",
+        type=int,
+        default=3,
+        help=(
+            "latest injection-point hit a rule may trigger on; small values "
+            "make rules fire early in short drains"
+        ),
+    )
+    chaos_parser.add_argument(
+        "--actions",
+        default=",".join(DEFAULT_CHAOS_ACTIONS),
+        help=(
+            "comma-separated fault actions to arm "
+            f"(default {','.join(DEFAULT_CHAOS_ACTIONS)}; "
+            "also available: skew)"
+        ),
+    )
+    chaos_parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=4.0,
+        help="queue lease TTL for the fault arm",
+    )
+    chaos_parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=8,
+        help="lease reclamations before a task is recorded as failed",
+    )
+    chaos_parser.add_argument(
+        "--max-fault-incarnations",
+        type=int,
+        default=12,
+        help="armed worker spawns before respawns run clean",
+    )
+    chaos_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="R",
+        help="also checkpoint every task at this round interval",
+    )
+    chaos_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="hard wall-clock limit in seconds for the drain",
+    )
+    chaos_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the chaos report as JSON instead of a summary",
+    )
 
     for name in EXPERIMENTS:
         experiment_parser = subparsers.add_parser(
@@ -767,6 +883,55 @@ def _run_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runtime.chaos import run_chaos
+
+    actions = tuple(
+        action.strip() for action in args.actions.split(",") if action.strip()
+    )
+    try:
+        report = run_chaos(
+            args.root,
+            experiment=args.experiment,
+            seed=args.seed,
+            num_nodes=args.num_nodes,
+            rounds=args.rounds,
+            repeats=args.repeats,
+            workers=args.fleet,
+            fires=args.fires,
+            max_at=args.max_at,
+            actions=actions,
+            lease_ttl=args.lease_ttl,
+            max_attempts=args.max_attempts,
+            max_fault_incarnations=args.max_fault_incarnations,
+            checkpoint_every=args.checkpoint_every,
+            timeout_s=args.timeout,
+            log=lambda message: print(message, file=sys.stderr),
+        )
+    except (RuntimeError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
+    else:
+        verdict = "IDENTICAL" if report.identical else "MISMATCH"
+        print(
+            f"chaos {report.experiment} seed={report.seed}: {verdict} — "
+            f"{report.tasks} task(s), {report.incarnations} worker "
+            f"incarnation(s), {report.crash_exits} injected crash(es), "
+            f"{int(report.io_retries)} absorbed IO retr(ies), "
+            f"{report.quarantined} quarantined line(s) in "
+            f"{report.duration_s:.1f}s"
+        )
+        if report.mismatched_keys:
+            print(f"mismatched keys: {', '.join(report.mismatched_keys)}")
+        if report.missing_keys:
+            print(f"missing keys: {', '.join(report.missing_keys)}")
+    return 0 if report.identical else 1
+
+
 def _run_trace(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -798,6 +963,10 @@ def _run_trace(args: argparse.Namespace) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    # Arm the process-wide fault plane when PERIGEE_FAULT_PLAN is set —
+    # this is how `perigee-sim chaos` injects faults into the worker
+    # subprocesses it spawns.  A no-op (null plane) when the var is unset.
+    install_fault_plane_from_env()
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command is None:
@@ -837,6 +1006,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_serve(args)
     if args.command == "inspect":
         return _run_inspect(args)
+    if args.command == "chaos":
+        return _run_chaos(args)
     if args.command == "trace":
         return _run_trace(args)
     if args.cluster and args.store is None:

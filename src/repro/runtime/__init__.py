@@ -22,7 +22,16 @@ self-contained units of work:
   a durable work queue inside the store directory with lease/heartbeat
   semantics, ``perigee-sim worker`` daemons draining it from any number of
   processes or machines, and a :class:`ClusterExecutor` that plugs into
-  :func:`execute_sweep` unchanged.
+  :func:`execute_sweep` unchanged;
+* :mod:`repro.runtime.faults` / :mod:`repro.runtime.retry` /
+  :mod:`repro.runtime.atomics` — the hardened-IO layer: a deterministic,
+  seedable fault-injection plane threaded through every durable-IO seam
+  (null and free by default), a shared exponential-backoff retry helper
+  with deterministic jitter, and the single tmp+rename atomic-write
+  primitive all durable writes route through;
+* :mod:`repro.runtime.chaos` — the closed-loop chaos harness behind
+  ``perigee-sim chaos``: drains a real sweep through an armed worker fleet
+  and asserts byte-identity against a fault-free serial run.
 
 Typical use, mirroring ``perigee-sim figure3a --workers 4 --store runs/``::
 
@@ -50,6 +59,8 @@ from repro.runtime.aggregate import (
     mean_curve,
     records_to_result,
 )
+from repro.runtime.atomics import atomic_write_bytes, atomic_write_json
+from repro.runtime.chaos import ChaosReport, run_chaos
 from repro.runtime.checkpoint import (
     clear_task_checkpoints,
     latest_checkpoint,
@@ -66,6 +77,22 @@ from repro.runtime.executor import (
     make_executor,
     run_task,
 )
+from repro.runtime.faults import (
+    FaultPlan,
+    FaultPlane,
+    FaultRule,
+    NullFaultPlane,
+    get_fault_plane,
+    install_fault_plane_from_env,
+    set_fault_plane,
+    use_fault_plane,
+)
+from repro.runtime.retry import (
+    DEFAULT_IO_RETRY,
+    NO_RETRY,
+    RetryPolicy,
+    retry,
+)
 from repro.runtime.scenarios import (
     Scenario,
     available_scenarios,
@@ -76,10 +103,18 @@ from repro.runtime.store import CompactionResult, ResultStore
 from repro.runtime.tasks import SweepSpec, Task, TaskRecord
 
 __all__ = [
+    "DEFAULT_IO_RETRY",
+    "NO_RETRY",
+    "ChaosReport",
     "ClusterExecutor",
     "CompactionResult",
+    "FaultPlan",
+    "FaultPlane",
+    "FaultRule",
+    "NullFaultPlane",
     "ParallelExecutor",
     "ResultStore",
+    "RetryPolicy",
     "WorkQueue",
     "Worker",
     "Scenario",
@@ -88,11 +123,15 @@ __all__ = [
     "SweepSpec",
     "Task",
     "TaskRecord",
+    "atomic_write_bytes",
+    "atomic_write_json",
     "available_scenarios",
     "clear_task_checkpoints",
     "execute_sweep",
     "failed_records",
+    "get_fault_plane",
     "get_scenario",
+    "install_fault_plane_from_env",
     "latest_checkpoint",
     "list_checkpoints",
     "make_executor",
@@ -100,7 +139,11 @@ __all__ = [
     "prune_checkpoints",
     "records_to_result",
     "register_scenario",
+    "retry",
+    "run_chaos",
     "run_task",
+    "set_fault_plane",
     "task_checkpoint_dir",
+    "use_fault_plane",
     "write_checkpoint",
 ]

@@ -1,0 +1,103 @@
+"""The one tmp+rename(+fsync) atomic-write helper every durable seam uses.
+
+Before this module, the pattern — unique temp name beside the target, write,
+optional fsync, ``os.replace`` — was copy-pasted across checkpoint
+snapshots, sweep-spec saves, queue task/attempts files, flight-recorder
+artifacts and store compaction.  Centralising it buys two things:
+
+* **one fault seam covers every durable write** — each call names an
+  injection point, so a seeded :class:`~repro.runtime.faults.FaultPlan`
+  can kill, corrupt, or error *any* durable write in the runtime without
+  per-call-site plumbing;
+* **one retry discipline** — pass a
+  :class:`~repro.runtime.retry.RetryPolicy` and transient ``OSError``\\ s
+  (the class the fault plane's ``raise`` action injects) are absorbed with
+  deterministic backoff, counted in ``io.retries``.
+
+Failed attempts never leave temp litter: the temp file is unlinked before
+the error propagates (or the retry re-runs), and a fresh unique temp name
+is drawn per attempt so a racing writer can never observe reuse.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets
+from pathlib import Path
+from typing import Any
+
+from repro.runtime.faults import get_fault_plane
+from repro.runtime.retry import NO_RETRY, RetryPolicy, retry
+
+
+def atomic_write_bytes(
+    path: str | os.PathLike,
+    data: bytes,
+    *,
+    fsync: bool = True,
+    fault_point: str | None = None,
+    retry_policy: RetryPolicy | None = None,
+) -> Path:
+    """Atomically replace ``path``'s contents with ``data``.
+
+    A reader never observes a partial file: the bytes land in a uniquely
+    named temp file beside the target (same filesystem, so the final
+    ``os.replace`` is atomic) and only a fully written — and, by default,
+    fsynced — temp is renamed into place.
+
+    ``fault_point`` names this write for the fault plane; ``retry_policy``
+    (``None`` = single attempt) bounds transient-``OSError`` retries, each
+    attempt drawing a fresh temp name.
+    """
+    target = Path(path)
+    policy = NO_RETRY if retry_policy is None else retry_policy
+    name = fault_point or "atomic.write"
+
+    def attempt() -> Path:
+        if fault_point is not None:
+            # Fired inside the retried closure: a `raise` rule is absorbed
+            # by the policy, a `torn` rule leaves a partial *target* (the
+            # lying-fsync scenario) before killing the process.
+            get_fault_plane().fire(
+                fault_point, path=target, data=data, append=False
+            )
+        tmp_path = target.with_name(
+            f".{target.name}.tmp-{os.getpid()}-{secrets.token_hex(3)}"
+        )
+        try:
+            with tmp_path.open("wb") as handle:
+                handle.write(data)
+                if fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            os.replace(tmp_path, target)
+        except OSError:
+            tmp_path.unlink(missing_ok=True)
+            raise
+        return target
+
+    return retry(attempt, policy, name=name)
+
+
+def atomic_write_json(
+    path: str | os.PathLike,
+    payload: Any,
+    *,
+    sort_keys: bool = True,
+    indent: int | None = None,
+    fsync: bool = True,
+    fault_point: str | None = None,
+    retry_policy: RetryPolicy | None = None,
+) -> Path:
+    """JSON-encode ``payload`` and :func:`atomic_write_bytes` it."""
+    data = json.dumps(payload, sort_keys=sort_keys, indent=indent).encode(
+        "utf-8"
+    )
+    return atomic_write_bytes(
+        path,
+        data,
+        fsync=fsync,
+        fault_point=fault_point,
+        retry_policy=retry_policy,
+    )

@@ -22,11 +22,14 @@ from __future__ import annotations
 import json
 import os
 import re
-import secrets
 import shutil
 import time
 from pathlib import Path
 from typing import Iterator
+
+from repro.runtime.atomics import atomic_write_json
+from repro.runtime.faults import get_fault_plane
+from repro.runtime.retry import DEFAULT_IO_RETRY
 
 CHECKPOINTS_DIRNAME = "checkpoints"
 
@@ -66,14 +69,12 @@ def write_checkpoint(
     rounds_completed = int(state["rounds_completed"])
     directory.mkdir(parents=True, exist_ok=True)
     target = checkpoint_path(directory, rounds_completed)
-    tmp_path = target.with_name(
-        f".{target.name}.tmp-{os.getpid()}-{secrets.token_hex(3)}"
+    atomic_write_json(
+        target,
+        state,
+        fault_point="checkpoint.write",
+        retry_policy=DEFAULT_IO_RETRY,
     )
-    with tmp_path.open("w", encoding="utf-8") as handle:
-        json.dump(state, handle, sort_keys=True)
-        handle.flush()
-        os.fsync(handle.fileno())
-    tmp_path.replace(target)
     if retention > 0:
         rounds = sorted(_iter_round_files(directory))
         for _, stale in rounds[:-retention]:
@@ -105,13 +106,17 @@ def latest_checkpoint(directory: Path) -> dict | None:
     """Load the newest parseable snapshot, or ``None`` when there is none.
 
     Corrupt files (e.g. a snapshot written by a kernel that lied about
-    fsync) are skipped, falling back to the next-newest snapshot — which is
+    fsync) are skipped — truncated JSON, invalid bytes, and wrong-shape
+    payloads alike — falling back to the next-newest snapshot, which is
     why retention keeps more than one.
     """
     for _, path in sorted(_iter_round_files(directory), reverse=True):
+        get_fault_plane().fire("checkpoint.read", path=path)
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+        except (OSError, ValueError):
+            # ValueError covers both JSONDecodeError and the
+            # UnicodeDecodeError a binary-garbage snapshot raises.
             continue
         if isinstance(payload, dict):
             return payload

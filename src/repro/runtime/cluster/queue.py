@@ -42,10 +42,13 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.runtime.atomics import atomic_write_json
 from repro.runtime.checkpoint import (
     newest_checkpoint_round,
     task_checkpoint_dir,
 )
+from repro.runtime.faults import get_fault_plane
+from repro.runtime.retry import DEFAULT_IO_RETRY, retry
 from repro.runtime.store import (
     ResultStore,
     iter_jsonl_payloads,
@@ -208,11 +211,13 @@ class WorkQueue:
         path = self._task_path(task.content_hash())
         if path.exists():
             return False
-        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}-{secrets.token_hex(3)}")
-        tmp.write_text(
-            json.dumps(task.to_dict(), sort_keys=True), encoding="utf-8"
+        atomic_write_json(
+            path,
+            task.to_dict(),
+            fsync=False,
+            fault_point="queue.task.write",
+            retry_policy=DEFAULT_IO_RETRY,
         )
-        tmp.replace(path)
         return True
 
     # ------------------------------------------------------------------ #
@@ -283,15 +288,27 @@ class WorkQueue:
         self, key: str, task_path: Path, worker_id: str
     ) -> Claim | None:
         lease_path = self._lease_path(key)
+
+        def create_lease() -> int:
+            # FileExistsError / FileNotFoundError are queue-protocol
+            # signals and pass straight through retry(); only genuinely
+            # transient OSErrors (EIO, injected faults) are absorbed.
+            get_fault_plane().fire("queue.lease.create", path=lease_path)
+            return os.open(lease_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+
         try:
-            fd = os.open(lease_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            fd = retry(create_lease, DEFAULT_IO_RETRY, name="queue.lease.create")
         except FileExistsError:
             if not self._reclaim_stale_lease(key, task_path, lease_path):
                 return None
             try:
-                fd = os.open(lease_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                fd = retry(
+                    create_lease, DEFAULT_IO_RETRY, name="queue.lease.create"
+                )
             except FileExistsError:
                 return None  # lost the re-lease race; move on
+            except FileNotFoundError:
+                return None
         except FileNotFoundError:
             return None  # leases dir vanished (store wiped under us)
         # The attempt number comes from the durable per-key reclaim counter,
@@ -353,6 +370,7 @@ class WorkQueue:
         (including checkpointing disabled entirely) consumes attempts
         exactly as before.
         """
+        get_fault_plane().fire("queue.reclaim", path=lease_path)
         try:
             age = time.time() - lease_path.stat().st_mtime
         except FileNotFoundError:
@@ -393,11 +411,22 @@ class WorkQueue:
 
         The file holds JSON ``{"reclaims": n, "round": r}``; a plain integer
         (the pre-checkpoint format) is read as ``(n, -1)`` so mixed-version
-        fleets sharing a store keep counting correctly.
+        fleets sharing a store keep counting correctly.  *Any* byte-level
+        corruption of the file degrades to the safe default — an attempt
+        counter must never crash a claim.
         """
+        path = self._attempts_path(key)
+
+        def read() -> str:
+            get_fault_plane().fire("queue.attempts.read", path=path)
+            return path.read_text(encoding="utf-8")
+
         try:
-            text = self._attempts_path(key).read_text(encoding="utf-8")
-        except OSError:
+            text = retry(read, DEFAULT_IO_RETRY, name="queue.attempts.read")
+        except (OSError, UnicodeDecodeError):
+            # UnicodeDecodeError: binary garbage where JSON should be —
+            # the corruption-quarantine contract is "safe default, never
+            # crash a worker".
             return 0, -1
         try:
             payload = json.loads(text)
@@ -415,16 +444,18 @@ class WorkQueue:
         return 0, -1
 
     def _write_attempts(self, key: str, reclaims: int, seen_round: int) -> None:
-        path = self._attempts_path(key)
-        tmp = path.with_name(f".{path.name}.tmp-{secrets.token_hex(4)}")
         try:
-            tmp.write_text(
-                json.dumps({"reclaims": reclaims, "round": seen_round}),
-                encoding="utf-8",
+            atomic_write_json(
+                self._attempts_path(key),
+                {"reclaims": reclaims, "round": seen_round},
+                fsync=False,
+                fault_point="queue.attempts.write",
+                retry_policy=DEFAULT_IO_RETRY,
             )
-            tmp.replace(path)
         except OSError:
-            tmp.unlink(missing_ok=True)
+            # Best-effort after retries: losing one bump under-counts an
+            # attempt, which only delays exhaustion — never corrupts it.
+            pass
 
     def _record_exhausted(
         self, key: str, task_path: Path, reclaims: int
@@ -447,9 +478,23 @@ class WorkQueue:
         self._remove_entry(key, task_path)
 
     def heartbeat(self, claim: Claim) -> None:
-        """Refresh the lease mtime so other workers do not reclaim it."""
-        try:
+        """Refresh the lease mtime so other workers do not reclaim it.
+
+        Transient failures are retried with backoff; a persistent failure
+        propagates so the worker's heartbeat thread can mark itself dead
+        (see :class:`~repro.runtime.cluster.worker.Worker`) instead of
+        silently letting the lease age out under a running task.
+        """
+
+        def beat() -> None:
+            # The fire is inside the retried closure: an injected delay
+            # stalls this beat (forcing lease expiry under a live worker),
+            # an injected EIO is absorbed by the retry budget.
+            get_fault_plane().fire("queue.heartbeat", path=claim.lease_path)
             os.utime(claim.lease_path)
+
+        try:
+            retry(beat, DEFAULT_IO_RETRY, name="queue.heartbeat")
         except FileNotFoundError:
             # Reclaimed from under us (we were presumed dead).  Finish the
             # task anyway — duplicate completion is idempotent by key.
@@ -463,6 +508,7 @@ class WorkQueue:
         :meth:`claim` garbage-collects the entry instead of re-running.
         """
         self.store.append(record)
+        get_fault_plane().fire("queue.retire", path=claim.task_path)
         self._remove_entry(claim.key, claim.task_path)
 
     def release(self, claim: Claim) -> None:

@@ -11,6 +11,15 @@ longer than the TTL, and the heartbeat is what distinguishes a slow worker
 from a dead one.  If the worker is interrupted mid-task (``KeyboardInterrupt``
 or any other raise out of the run function), the claim is released so the
 task becomes immediately claimable again instead of waiting out the TTL.
+
+**Heartbeat liveness**: the heartbeat thread is itself a failure domain —
+if it dies (a persistent IO error on the lease path, say), the lease
+silently expires under a still-running task, which then gets reclaimed and
+re-run elsewhere while this worker burns CPU on it.  The thread therefore
+records any terminal exception in a per-claim liveness flag; the main loop
+checks the flag after the task returns (and before claiming again), releases
+the claim instead of completing it — the lease can no longer be trusted to
+be ours — and stops claiming new work (``Worker.heartbeat_failed``).
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from repro.runtime.cluster.queue import (
     default_worker_id,
 )
 from repro.runtime.executor import RunFunction, run_task
+from repro.runtime.faults import get_fault_plane
 from repro.runtime.store import ResultStore, sanitize_writer_id
 from repro.runtime.tasks import TaskRecord
 from repro.telemetry.recorder import (
@@ -134,6 +144,10 @@ class Worker:
             )
         self.run_function = run
         self.telemetry = bool(telemetry)
+        #: Set when a heartbeat thread died mid-task.  Once true, the worker
+        #: stops claiming: its lease-refresh machinery has proven unreliable,
+        #: so any further claim would be at risk of silent double-execution.
+        self.heartbeat_failed = False
 
     def run(
         self,
@@ -177,6 +191,9 @@ class Worker:
         completed = 0
         try:
             while max_tasks is None or completed < max_tasks:
+                if self.heartbeat_failed:
+                    break
+                get_fault_plane().fire("worker.claim")
                 claim = self.queue.claim(self.worker_id, keys=keys)
                 if claim is None:
                     recorder.incr("worker.polls")
@@ -187,6 +204,10 @@ class Worker:
                     continue
                 recorder.incr("worker.claims")
                 record = self._execute(claim)
+                if record is None:
+                    # Heartbeat thread died under this claim; the claim was
+                    # released (not completed) and the worker stops claiming.
+                    break
                 completed += 1
                 recorder.incr("worker.completions")
                 # Beat the registry here too: a worker chewing through
@@ -201,14 +222,24 @@ class Worker:
             self.queue.beat_worker(self.worker_id)
         return completed
 
-    def _execute(self, claim: Claim) -> TaskRecord:
+    def _execute(self, claim: Claim) -> TaskRecord | None:
+        """Run one claimed task; ``None`` when the heartbeat thread died.
+
+        A dead heartbeat means the lease may already have expired and been
+        reclaimed by a peer, so completing would risk retiring a task some
+        other worker is mid-way through re-running.  The claim is released
+        (idempotent if the lease is already gone) and the caller stops
+        claiming via :attr:`heartbeat_failed`.
+        """
         stop = threading.Event()
+        dead = threading.Event()
         beater = threading.Thread(
-            target=self._heartbeat_loop, args=(claim, stop), daemon=True
+            target=self._heartbeat_loop, args=(claim, stop, dead), daemon=True
         )
         beater.start()
         try:
             try:
+                get_fault_plane().fire("worker.execute", path=claim.task_path)
                 record = self.run_function(claim.task)
             finally:
                 stop.set()
@@ -218,13 +249,28 @@ class Worker:
             # than letting the lease age out.
             self.queue.release(claim)
             raise
+        if dead.is_set():
+            self.heartbeat_failed = True
+            self.queue.release(claim)
+            return None
         self.queue.complete(claim, record)
         return record
 
-    def _heartbeat_loop(self, claim: Claim, stop: threading.Event) -> None:
+    def _heartbeat_loop(
+        self, claim: Claim, stop: threading.Event, dead: threading.Event
+    ) -> None:
         interval = max(self.queue.lease_ttl / 4.0, _MIN_HEARTBEAT_INTERVAL)
         recorder = get_recorder()
         while not stop.wait(interval):
-            self.queue.heartbeat(claim)
+            try:
+                self.queue.heartbeat(claim)
+            except Exception:
+                # Persistent lease-refresh failure (the queue already
+                # retried transients): flag the claim as untrustworthy and
+                # die loudly instead of letting the lease expire silently
+                # under a still-running task.
+                recorder.incr("worker.heartbeat_dead")
+                dead.set()
+                return
             self.queue.beat_worker(self.worker_id)
             recorder.incr("worker.heartbeats")

@@ -1,0 +1,124 @@
+"""Bounded retry with exponential backoff and *deterministic* jitter.
+
+Durable-IO seams (store appends, queue attempts files, checkpoint
+snapshots, telemetry shard flushes) share one transient-failure discipline
+through :func:`retry`: a bounded number of attempts, exponential backoff,
+and jitter derived from a CRC — not a clock or an RNG — so two runs of the
+same schedule back off identically and clean runs stay bit-identical.
+
+Telemetry contract: every absorbed failure increments ``io.retries`` (tagged
+with the operation name) and a retry budget exhausting increments
+``io.gave_up`` before the last error is re-raised.  The chaos harness
+asserts the former is non-zero under an EIO-injecting fault schedule —
+proof the hardened seams actually route through here.
+
+What *not* to retry: semantic filesystem outcomes.  ``FileExistsError``
+(losing a lease race) and ``FileNotFoundError`` (a lease reclaimed from
+under us) are protocol signals, not transient faults, and are excluded
+from the default ``retry_on`` filter.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.telemetry.recorder import get_recorder
+
+T = TypeVar("T")
+
+#: Exception types that are *never* retried even when they match
+#: ``retry_on``: they encode queue-protocol outcomes, not flaky IO.
+_SEMANTIC_OS_ERRORS = (FileExistsError, FileNotFoundError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Shape of one retry loop.
+
+    Attributes
+    ----------
+    attempts:
+        Total tries, the first included; must be >= 1.
+    base_delay_s:
+        Sleep before the second try; doubles (``multiplier``) per retry.
+    max_delay_s:
+        Backoff ceiling.
+    jitter:
+        Fractional spread applied to each delay, derived deterministically
+        from the operation name and attempt index — same schedule every
+        run, but different operations desynchronise instead of stampeding.
+    """
+
+    attempts: int = 3
+    base_delay_s: float = 0.02
+    multiplier: float = 2.0
+    max_delay_s: float = 1.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0 <= self.jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay_s(self, attempt: int, name: str = "io") -> float:
+        """Backoff before retry number ``attempt`` (0-based), jittered.
+
+        The jitter factor is ``crc32(f"{name}:{attempt}")`` mapped into
+        ``[1 - jitter, 1 + jitter]`` — a pure function of its inputs.
+        """
+        raw = min(
+            self.base_delay_s * (self.multiplier**attempt), self.max_delay_s
+        )
+        if not self.jitter:
+            return raw
+        token = zlib.crc32(f"{name}:{attempt}".encode("utf-8"))
+        unit = token / 0xFFFFFFFF  # [0, 1]
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * unit)
+
+
+#: Policy the hardened runtime seams share.
+DEFAULT_IO_RETRY = RetryPolicy()
+
+#: A no-retry policy (single attempt) for callers that only want the
+#: telemetry-on-failure behaviour.
+NO_RETRY = RetryPolicy(attempts=1)
+
+
+def retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy = DEFAULT_IO_RETRY,
+    *,
+    name: str = "io",
+    retry_on: tuple[type[BaseException], ...] = (OSError,),
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn`` under ``policy``; re-raise the last error on exhaustion.
+
+    ``fn`` must be safe to re-invoke after a failure — seams whose partial
+    effects would compound (e.g. an append that may have half-landed)
+    truncate or otherwise roll back before retrying (see
+    ``ResultStore.append``).
+    """
+    recorder = get_recorder()
+    last: BaseException | None = None
+    for attempt in range(policy.attempts):
+        try:
+            return fn()
+        except _SEMANTIC_OS_ERRORS:
+            raise
+        except retry_on as error:
+            last = error
+            if attempt + 1 >= policy.attempts:
+                recorder.incr("io.gave_up", op=name)
+                raise
+            recorder.incr("io.retries", op=name)
+            delay = policy.delay_s(attempt, name)
+            if delay > 0:
+                sleep(delay)
+    raise last  # pragma: no cover - unreachable (loop raises or returns)

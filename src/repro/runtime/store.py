@@ -37,12 +37,15 @@ from __future__ import annotations
 import json
 import os
 import re
-import secrets
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
+from repro.runtime.atomics import atomic_write_bytes, atomic_write_json
+from repro.runtime.faults import get_fault_plane
+from repro.runtime.retry import DEFAULT_IO_RETRY, retry
 from repro.runtime.tasks import TaskRecord
+from repro.telemetry.recorder import get_recorder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.tasks import SweepSpec
@@ -50,9 +53,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 RESULTS_FILENAME = "results.jsonl"
 SWEEPS_FILENAME = "sweeps.json"
 SPECS_DIRNAME = "sweeps"
+QUARANTINE_DIRNAME = "quarantine"
 
 #: Characters allowed in a writer id (it becomes part of a filename).
 _WRITER_SAFE = re.compile(r"[^A-Za-z0-9_.-]+")
+
+#: ``on_corrupt(line_number, raw_line, trailing)`` — notified for every
+#: unparseable JSONL line; ``trailing`` marks the file's final line (the
+#: benign torn-append case) as opposed to mid-file corruption.
+CorruptLineCallback = Callable[[int, str, bool], None]
 
 
 def sanitize_writer_id(writer: str) -> str:
@@ -63,24 +72,41 @@ def sanitize_writer_id(writer: str) -> str:
     return cleaned
 
 
-def iter_jsonl_payloads(path: Path) -> Iterator[dict]:
+def iter_jsonl_payloads(
+    path: Path, on_corrupt: CorruptLineCallback | None = None
+) -> Iterator[dict]:
     """Yield the parseable JSON objects of one JSONL file.
 
     The single source of truth for append-only-file tolerance: blank lines
     are skipped and so is a truncated trailing line (a write interrupted by
-    a crash), everything before it remaining valid.
+    a crash), everything before it remaining valid.  Invalid bytes decode
+    via replacement characters (and then fail JSON parsing) instead of
+    aborting the read mid-file.  ``on_corrupt`` observes every skipped
+    line — the last line of the file is flagged ``trailing=True`` so
+    callers can distinguish an expected torn append from real mid-file
+    corruption worth quarantining.
     """
-    with path.open("r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if isinstance(payload, dict):
-                yield payload
+    with path.open("r", encoding="utf-8", errors="replace") as handle:
+        lines = handle.read().split("\n")
+    # A file ending in a newline splits into a final empty string; drop it
+    # so "last line" means the last line that holds bytes.
+    if lines and not lines[-1]:
+        lines.pop()
+    last = len(lines) - 1
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        payload = None
+        try:
+            payload = json.loads(stripped)
+        except json.JSONDecodeError:
+            pass
+        if isinstance(payload, dict):
+            yield payload
+            continue
+        if on_corrupt is not None:
+            on_corrupt(index + 1, line, index == last)
 
 
 @dataclass(frozen=True)
@@ -180,6 +206,19 @@ class ResultStore:
         return self._directory / "checkpoints"
 
     @property
+    def quarantine_dir(self) -> Path:
+        """Directory of quarantined corrupt record lines.
+
+        A mid-file line that fails JSON parsing — or parses but cannot be
+        decoded into a :class:`TaskRecord` — is copied here (one sidecar
+        file per source shard, ``<source>.corrupt``) instead of silently
+        discarded or allowed to raise away the whole shard.  Torn *trailing*
+        lines (a crash mid-append) are the expected fault class and are
+        only counted, not quarantined.
+        """
+        return self._directory / QUARANTINE_DIRNAME
+
+    @property
     def runs_dir(self) -> Path:
         """Directory of flight-recorder run artifacts (``runs/<hash>/``).
 
@@ -202,19 +241,100 @@ class ResultStore:
     # Task records
     # ------------------------------------------------------------------ #
     def append(self, record: TaskRecord) -> None:
-        """Append one record; flushed so a crash loses at most one line."""
-        line = json.dumps(record.to_dict(), sort_keys=True)
+        """Append one record; flushed so a crash loses at most one line.
+
+        Transient ``OSError``\\ s (EIO, ENOSPC clearing up, injected faults)
+        are retried with deterministic backoff; partial bytes from a failed
+        attempt are truncated away first so a retry can never interleave
+        with its own debris.  Retries that land a duplicate line are
+        harmless — records merge by content hash.
+        """
+        line = (json.dumps(record.to_dict(), sort_keys=True) + "\n").encode(
+            "utf-8"
+        )
         self._directory.mkdir(parents=True, exist_ok=True)
-        with self.results_path.open("a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        path = self.results_path
+
+        def write() -> None:
+            get_fault_plane().fire("store.append", path=path, data=line)
+            with path.open("ab") as handle:
+                offset = handle.tell()
+                try:
+                    handle.write(line)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                except OSError:
+                    try:
+                        handle.truncate(offset)
+                    except OSError:  # pragma: no cover - rollback best-effort
+                        pass
+                    raise
+
+        retry(write, DEFAULT_IO_RETRY, name="store.append")
+
+    def _quarantine_line(self, source: Path, line_no: int, raw: str) -> None:
+        """Copy one corrupt record line into the quarantine sidecar.
+
+        Best-effort by design: quarantine is forensic output and must never
+        turn a tolerated corruption back into a crash.
+        """
+        get_recorder().incr("store.quarantined")
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            sidecar = self.quarantine_dir / f"{source.name}.corrupt"
+            with sidecar.open("a", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps(
+                        {"source": source.name, "line": line_no, "raw": raw},
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+        except OSError:  # pragma: no cover - quarantine is best-effort
+            pass
+
+    def quarantined_lines(self) -> int:
+        """Total corrupt record lines quarantined so far (all sidecars)."""
+        directory = self.quarantine_dir
+        if not directory.is_dir():
+            return 0
+        total = 0
+        for sidecar in sorted(directory.glob("*.corrupt")):
+            try:
+                with sidecar.open("r", encoding="utf-8") as handle:
+                    total += sum(1 for line in handle if line.strip())
+            except OSError:  # pragma: no cover - racing cleanup
+                continue
+        return total
 
     def iter_records(self) -> Iterator[TaskRecord]:
-        """Yield all parseable records, shared file first, then shards."""
+        """Yield all parseable records, shared file first, then shards.
+
+        A corrupt line never discards the rest of its shard: a torn
+        *trailing* line (crash mid-append) is counted
+        (``store.torn_lines``) and skipped; mid-file corruption — including
+        well-formed JSON that does not decode into a :class:`TaskRecord` —
+        is quarantined (``store.quarantined``) and skipped.
+        """
+        recorder = get_recorder()
         for path in self.shard_paths():
-            for payload in iter_jsonl_payloads(path):
-                yield TaskRecord.from_dict(payload)
+            get_fault_plane().fire("store.load", path=path)
+
+            def on_corrupt(
+                line_no: int, raw: str, trailing: bool, _path: Path = path
+            ) -> None:
+                if trailing:
+                    recorder.incr("store.torn_lines")
+                else:
+                    self._quarantine_line(_path, line_no, raw)
+
+            for payload in iter_jsonl_payloads(path, on_corrupt=on_corrupt):
+                try:
+                    yield TaskRecord.from_dict(payload)
+                except (KeyError, TypeError, ValueError):
+                    self._quarantine_line(
+                        path, 0, json.dumps(payload, sort_keys=True)
+                    )
 
     def load(self) -> dict[str, TaskRecord]:
         """All records keyed by content hash, merged across shards.
@@ -268,16 +388,16 @@ class ResultStore:
         target = self._directory / RESULTS_FILENAME
         if merged:
             self._directory.mkdir(parents=True, exist_ok=True)
-            tmp_path = target.with_name(
-                f".{target.name}.tmp-{os.getpid()}-{secrets.token_hex(3)}"
+            payload = "".join(
+                json.dumps(record.to_dict(), sort_keys=True) + "\n"
+                for record in merged.values()
+            ).encode("utf-8")
+            atomic_write_bytes(
+                target,
+                payload,
+                fault_point="store.compact",
+                retry_policy=DEFAULT_IO_RETRY,
             )
-            with tmp_path.open("w", encoding="utf-8") as handle:
-                for record in merged.values():
-                    handle.write(json.dumps(record.to_dict(), sort_keys=True))
-                    handle.write("\n")
-                handle.flush()
-                os.fsync(handle.fileno())
-            tmp_path.replace(target)
         for path in shard_files:
             try:
                 path.unlink()
@@ -325,14 +445,14 @@ class ResultStore:
         """
         self.specs_dir.mkdir(parents=True, exist_ok=True)
         path = self.specs_dir / f"{sanitize_writer_id(spec.name)}.json"
-        tmp_path = path.with_name(
-            f".{path.name}.tmp-{os.getpid()}-{secrets.token_hex(3)}"
+        atomic_write_json(
+            path,
+            spec.to_dict(),
+            indent=2,
+            fsync=False,
+            fault_point="store.spec.write",
+            retry_policy=DEFAULT_IO_RETRY,
         )
-        tmp_path.write_text(
-            json.dumps(spec.to_dict(), sort_keys=True, indent=2),
-            encoding="utf-8",
-        )
-        tmp_path.replace(path)
 
     def _load_spec_dicts(self) -> dict[str, dict]:
         specs: dict[str, dict] = {}

@@ -32,10 +32,10 @@ consumers and only exists for runs that closed cleanly.
 
 from __future__ import annotations
 
+import io
 import json
 import math
 import os
-import secrets
 import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping, Sequence
@@ -117,13 +117,20 @@ def _percentile_stats(values: np.ndarray) -> dict[str, Any]:
 
 
 def _write_json_atomic(path: Path, payload: Mapping[str, Any]) -> None:
-    tmp_path = path.with_name(
-        f".{path.name}.tmp-{os.getpid()}-{secrets.token_hex(3)}"
+    # Imported lazily: this module is reachable from `repro.core.simulator`,
+    # and importing `repro.runtime` submodules at module scope would close
+    # an import cycle back through the executor.
+    from repro.runtime.atomics import atomic_write_json
+    from repro.runtime.retry import DEFAULT_IO_RETRY
+
+    atomic_write_json(
+        path,
+        payload,
+        indent=2,
+        fsync=False,
+        fault_point="flight.write",
+        retry_policy=DEFAULT_IO_RETRY,
     )
-    tmp_path.write_text(
-        json.dumps(payload, sort_keys=True, indent=2), encoding="utf-8"
-    )
-    tmp_path.replace(path)
 
 
 class NullFlightRecorder:
@@ -343,13 +350,19 @@ class FlightRecorder:
             name: np.asarray(values, dtype=float)
             for name, values in self._series.items()
         }
+        from repro.runtime.atomics import atomic_write_bytes
+        from repro.runtime.retry import DEFAULT_IO_RETRY
+
         trace_path = self._directory / TRACE_FILENAME
-        tmp_path = trace_path.with_name(
-            f".{trace_path.name}.tmp-{os.getpid()}-{secrets.token_hex(3)}"
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        atomic_write_bytes(
+            trace_path,
+            buffer.getvalue(),
+            fsync=False,
+            fault_point="flight.write",
+            retry_policy=DEFAULT_IO_RETRY,
         )
-        with tmp_path.open("wb") as handle:
-            np.savez_compressed(handle, **arrays)
-        tmp_path.replace(trace_path)
         _write_json_atomic(
             self._directory / SUMMARY_FILENAME,
             {

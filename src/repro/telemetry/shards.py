@@ -24,6 +24,8 @@ import time
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro.runtime.faults import get_fault_plane
+from repro.runtime.retry import DEFAULT_IO_RETRY, retry
 from repro.runtime.store import iter_jsonl_payloads, sanitize_writer_id
 from repro.telemetry.recorder import MetricsRecorder, SpanStats
 
@@ -56,9 +58,18 @@ class ShardWriter:
             **recorder.snapshot(),
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(payload, sort_keys=True) + "\n")
-            handle.flush()
+        line = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+        def write() -> None:
+            # Snapshots are cumulative and seq-tagged, so a duplicate append
+            # after a retried partial failure is harmless: readers keep the
+            # highest-seq line and a torn line never parses.
+            get_fault_plane().fire("telemetry.flush", path=self.path, data=line)
+            with self.path.open("ab") as handle:
+                handle.write(line)
+                handle.flush()
+
+        retry(write, DEFAULT_IO_RETRY, name="telemetry.flush")
         return payload
 
 
